@@ -1,0 +1,204 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation.
+// Each testing.B below corresponds to one artifact (see DESIGN.md's
+// per-experiment index); headline numbers are attached as custom metrics so
+// `go test -bench=. -benchmem` doubles as a results report. Benchmarks run
+// at tiny scale to stay CI-sized; `cmd/figures -scale small|paper` produces
+// the EXPERIMENTS.md snapshots.
+package upim_test
+
+import (
+	"strconv"
+	"testing"
+	"time"
+
+	"upim"
+)
+
+func runExp(b *testing.B, id string, names ...string) *upim.ResultTable {
+	b.Helper()
+	opts := upim.ExperimentOptions{Scale: upim.ScaleTiny, Benchmarks: names}
+	var tab *upim.ResultTable
+	for i := 0; i < b.N; i++ {
+		var err error
+		tab, err = upim.RunExperiment(id, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return tab
+}
+
+// metric parses a table cell like "42.0%" or "3.14" into a float.
+func metric(cell string) float64 {
+	s := cell
+	if n := len(s); n > 0 && s[n-1] == '%' {
+		s = s[:n-1]
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0
+	}
+	return v
+}
+
+// BenchmarkTable1_Config regenerates Table I (simulator configuration).
+func BenchmarkTable1_Config(b *testing.B) { runExp(b, "table1") }
+
+// BenchmarkTable2_Datasets regenerates Table II (PrIM datasets).
+func BenchmarkTable2_Datasets(b *testing.B) { runExp(b, "table2") }
+
+// BenchmarkValidation runs the Section III-C functional cross-validation:
+// the whole suite, both memory models, multi-DPU, against golden models.
+func BenchmarkValidation(b *testing.B) {
+	tab := runExp(b, "validation")
+	b.ReportMetric(float64(len(tab.Rows)), "configs-verified")
+}
+
+// BenchmarkFig5_Utilization: compute vs memory-bandwidth utilization.
+func BenchmarkFig5_Utilization(b *testing.B) {
+	tab := runExp(b, "fig5", "VA", "GEMV", "BS", "SpMV")
+	for _, row := range tab.Rows {
+		if row[0] == "BS" && row[1] == "16" {
+			b.ReportMetric(metric(row[3]), "BS-mem-util-%")
+		}
+		if row[0] == "GEMV" && row[1] == "16" {
+			b.ReportMetric(metric(row[2]), "GEMV-compute-util-%")
+		}
+	}
+}
+
+// BenchmarkFig6_LatencyBreakdown: issue-slot breakdown.
+func BenchmarkFig6_LatencyBreakdown(b *testing.B) {
+	tab := runExp(b, "fig6", "BS", "GEMV", "HST-L")
+	for _, row := range tab.Rows {
+		if row[0] == "BS" && row[1] == "16" {
+			b.ReportMetric(metric(row[3]), "BS-idle-mem-%")
+		}
+	}
+}
+
+// BenchmarkFig7_TLPHistogram: issuable-thread distribution.
+func BenchmarkFig7_TLPHistogram(b *testing.B) {
+	tab := runExp(b, "fig7", "BS", "GEMV")
+	for _, row := range tab.Rows {
+		b.ReportMetric(metric(row[len(row)-1]), row[0]+"-avg-issuable")
+	}
+}
+
+// BenchmarkFig8_TLPTimeline: TLP over time for the paper's three exemplars.
+func BenchmarkFig8_TLPTimeline(b *testing.B) { runExp(b, "fig8") }
+
+// BenchmarkFig9_InstructionMix: per-class instruction fractions.
+func BenchmarkFig9_InstructionMix(b *testing.B) {
+	tab := runExp(b, "fig9", "BFS", "HST-L", "GEMV")
+	for _, row := range tab.Rows {
+		if row[0] == "HST-L" {
+			b.ReportMetric(metric(row[6]), "HSTL-sync-%")
+		}
+		if row[0] == "BFS" {
+			b.ReportMetric(metric(row[5]), "BFS-dma-%")
+		}
+	}
+}
+
+// BenchmarkFig10_StrongScaling: multi-DPU latency breakdown and speedup.
+func BenchmarkFig10_StrongScaling(b *testing.B) {
+	tab := runExp(b, "fig10", "VA", "BS")
+	for _, row := range tab.Rows {
+		if row[1] == "64" {
+			b.ReportMetric(metric(row[7]), row[0]+"-speedup-64dpu")
+		}
+	}
+}
+
+// BenchmarkFig11_SIMT: the SIMT case study on GEMV.
+func BenchmarkFig11_SIMT(b *testing.B) {
+	tab := runExp(b, "fig11")
+	for _, row := range tab.Rows {
+		switch row[0] {
+		case "SIMT":
+			b.ReportMetric(metric(row[5]), "SIMT-speedup")
+		case "SIMT+AC":
+			b.ReportMetric(metric(row[5]), "SIMT+AC-speedup")
+		case "SIMT+AC+16x":
+			b.ReportMetric(metric(row[1]), "SIMT+AC+16x-IPC")
+		}
+	}
+}
+
+// BenchmarkFig12_ILPAblation: the D/R/S/F ladder.
+func BenchmarkFig12_ILPAblation(b *testing.B) {
+	tab := runExp(b, "fig12", "GEMV", "TS", "BS")
+	for _, row := range tab.Rows {
+		if row[1] == "Base+D+R+S+F" {
+			b.ReportMetric(metric(row[6]), row[0]+"-DRSF-speedup")
+		}
+	}
+}
+
+// BenchmarkFig13_BandwidthScaling: MRAM-to-WRAM link x1/x2/x4.
+func BenchmarkFig13_BandwidthScaling(b *testing.B) {
+	tab := runExp(b, "fig13", "BS", "TS")
+	for _, row := range tab.Rows {
+		if row[0] == "BS" && row[1] == "Base" {
+			b.ReportMetric(metric(row[4]), "BS-base-x4-speedup")
+		}
+	}
+}
+
+// BenchmarkCaseStudyMMU: address-translation overhead.
+func BenchmarkCaseStudyMMU(b *testing.B) {
+	tab := runExp(b, "mmu", "VA", "BS", "SpMV", "GEMV")
+	for _, row := range tab.Rows {
+		if row[0] == "average" {
+			b.ReportMetric(metric(row[1]), "avg-slowdown-%")
+		}
+		if row[0] == "max" {
+			b.ReportMetric(metric(row[1]), "max-slowdown-%")
+		}
+	}
+}
+
+// BenchmarkFig15_CacheVsScratchpad: the case-study 4 comparison.
+func BenchmarkFig15_CacheVsScratchpad(b *testing.B) {
+	tab := runExp(b, "fig15", "BS", "UNI", "VA")
+	for _, row := range tab.Rows {
+		if row[1] == "16" {
+			b.ReportMetric(metric(row[4]), row[0]+"-cache-speedup")
+		}
+	}
+}
+
+// BenchmarkFig16_BytesRead: DRAM traffic, scratchpad vs cache, BS and UNI.
+func BenchmarkFig16_BytesRead(b *testing.B) {
+	tab := runExp(b, "fig16")
+	for _, row := range tab.Rows {
+		if row[1] == "16" {
+			b.ReportMetric(metric(row[4]), row[0]+"-byte-ratio")
+		}
+	}
+}
+
+// BenchmarkTable3_Comparison regenerates the simulator-comparison table.
+func BenchmarkTable3_Comparison(b *testing.B) { runExp(b, "table3") }
+
+// BenchmarkSimulationRate measures the simulator's own speed in
+// kilo-instructions per second (the paper reports ~3 KIPS for uPIMulator;
+// Table III's last row).
+func BenchmarkSimulationRate(b *testing.B) {
+	cfg := upim.DefaultConfig()
+	cfg.NumTasklets = 16
+	var instrs uint64
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		res, err := upim.RunBenchmark("VA", cfg, 1, upim.ScaleSmall)
+		if err != nil {
+			b.Fatal(err)
+		}
+		instrs += res.Stats.Instructions
+	}
+	elapsed := time.Since(start).Seconds()
+	if elapsed > 0 {
+		b.ReportMetric(float64(instrs)/elapsed/1e3, "KIPS")
+	}
+}

@@ -1,0 +1,59 @@
+// Command figures regenerates the paper's evaluation artifacts: every table
+// and figure has a corresponding experiment (see -list). Results print as
+// aligned text tables; EXPERIMENTS.md records a snapshot next to the paper's
+// reported numbers.
+//
+// Usage:
+//
+//	figures -list
+//	figures -exp fig12 -scale small
+//	figures -exp all -scale tiny -bench VA,BS
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"upim"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment id (see -list) or 'all'")
+		scale = flag.String("scale", "tiny", "dataset scale: tiny, small or paper")
+		bench = flag.String("bench", "", "comma-separated benchmark subset (default: all 16)")
+		list  = flag.Bool("list", false, "list available experiments")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range upim.Experiments() {
+			fmt.Printf("%-12s %s\n", e.ID, e.About)
+		}
+		return
+	}
+	opts := upim.ExperimentOptions{
+		Scale: map[string]upim.Scale{"tiny": upim.ScaleTiny, "small": upim.ScaleSmall, "paper": upim.ScalePaper}[*scale],
+	}
+	if *bench != "" {
+		opts.Benchmarks = strings.Split(*bench, ",")
+	}
+
+	run := func(id string) {
+		tab, err := upim.RunExperiment(id, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figures: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		tab.Fprint(os.Stdout)
+	}
+	if *exp == "all" {
+		for _, e := range upim.Experiments() {
+			run(e.ID)
+		}
+		return
+	}
+	run(*exp)
+}

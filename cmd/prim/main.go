@@ -1,0 +1,47 @@
+// Command prim runs the PrIM benchmark suite (all 16 workloads) and prints a
+// one-line summary per benchmark — the quickest way to see the suite's
+// compute-vs-memory-bound split (Section IV-A).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"upim"
+)
+
+func main() {
+	var (
+		threads = flag.Int("threads", 16, "tasklets per DPU")
+		dpus    = flag.Int("dpus", 1, "number of DPUs")
+		cache   = flag.Bool("cache", false, "use the cache-centric memory model")
+		scale   = flag.String("scale", "tiny", "dataset scale: tiny, small or paper")
+	)
+	flag.Parse()
+
+	sc := map[string]upim.Scale{"tiny": upim.ScaleTiny, "small": upim.ScaleSmall, "paper": upim.ScalePaper}[*scale]
+	cfg := upim.DefaultConfig()
+	cfg.NumTasklets = *threads
+	if *cache {
+		cfg.Mode = upim.ModeCache
+	}
+
+	fmt.Printf("%-10s %12s %10s %8s %10s %12s\n",
+		"benchmark", "instructions", "cycles", "IPC", "DRAM MB", "verified")
+	failed := 0
+	for _, name := range upim.Benchmarks() {
+		res, err := upim.RunBenchmark(name, cfg, *dpus, sc)
+		if err != nil {
+			fmt.Printf("%-10s %s\n", name, err)
+			failed++
+			continue
+		}
+		fmt.Printf("%-10s %12d %10d %8.3f %10.2f %12s\n",
+			name, res.Stats.Instructions, res.Stats.Cycles, res.Stats.IPC(),
+			float64(res.Stats.DRAM.BytesRead)/1e6, "PASS")
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

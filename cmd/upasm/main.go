@@ -1,0 +1,58 @@
+// Command upasm drives the custom assembler/linker toolchain on a textual
+// assembly file: it assembles, links against the default configuration, and
+// prints the disassembly, symbol table, and encoded IRAM image size —
+// the "compile any UPMEM-PIM program down to machine level" path of the
+// paper's frontend.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"upim"
+	"upim/internal/isa"
+)
+
+func main() {
+	var (
+		mode = flag.String("mode", "scratchpad", "link target: scratchpad or cache")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: upasm [-mode scratchpad|cache] file.S")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	obj, err := upim.Assemble(flag.Arg(0), string(src))
+	if err != nil {
+		fatal(err)
+	}
+	cfg := upim.DefaultConfig()
+	if *mode == "cache" {
+		cfg.Mode = upim.ModeCache
+	}
+	prog, err := upim.Link(obj, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	img, err := prog.IRAMImage()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s: %d instructions, %d bytes of IRAM (%d-byte words), %d static bytes in %v\n\n",
+		prog.Name, len(prog.Instrs), len(img), isa.WordBytes, prog.StaticBytes, prog.StaticSpace)
+	for name, sym := range prog.Symbols {
+		fmt.Printf("  %-16s 0x%08x  %d bytes\n", name, sym.Addr, sym.Size)
+	}
+	fmt.Println()
+	fmt.Print(isa.Disassemble(prog.Instrs))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "upasm:", err)
+	os.Exit(1)
+}

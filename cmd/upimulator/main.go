@@ -1,0 +1,82 @@
+// Command upimulator runs one PrIM kernel on the simulated UPMEM-PIM system
+// and prints the cycle-level statistics the paper's characterization is
+// built from.
+//
+// Usage:
+//
+//	upimulator -kernel VA -threads 16 -dpus 4 -mode scratchpad -scale small
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"upim"
+)
+
+func main() {
+	var (
+		kernel  = flag.String("kernel", "VA", "PrIM benchmark name ("+strings.Join(upim.Benchmarks(), ", ")+")")
+		threads = flag.Int("threads", 16, "tasklets per DPU (1-16 for PrIM kernels)")
+		dpus    = flag.Int("dpus", 1, "number of DPUs")
+		mode    = flag.String("mode", "scratchpad", "memory model: scratchpad, cache or simt (GEMV only)")
+		scale   = flag.String("scale", "small", "dataset scale: tiny, small or paper")
+		ilp     = flag.String("ilp", "", "ILP features, a subset of DRSF (Fig 12)")
+		mmu     = flag.Bool("mmu", false, "enable the case-study 3 MMU")
+	)
+	flag.Parse()
+
+	cfg := upim.DefaultConfig()
+	cfg.NumTasklets = *threads
+	switch *mode {
+	case "scratchpad":
+		cfg.Mode = upim.ModeScratchpad
+	case "cache":
+		cfg.Mode = upim.ModeCache
+	case "simt":
+		cfg.Mode = upim.ModeSIMT
+		cfg.NumTasklets = 16 * 16
+		cfg.SIMTCoalesce = true
+	default:
+		fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
+	if *ilp != "" {
+		cfg = cfg.WithILP(*ilp)
+	}
+	if *mmu {
+		cfg.MMU.Enable = true
+		cfg.MMU.Prefault = false
+	}
+	var sc upim.Scale
+	switch *scale {
+	case "tiny":
+		sc = upim.ScaleTiny
+	case "small":
+		sc = upim.ScaleSmall
+	case "paper":
+		sc = upim.ScalePaper
+	default:
+		fatal(fmt.Errorf("unknown scale %q", *scale))
+	}
+
+	res, err := upim.RunBenchmark(*kernel, cfg, *dpus, sc)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s: %s mode, %d tasklets x %d DPUs, scale %s — output verified against golden model\n\n",
+		res.Benchmark, res.Mode, res.Tasklets, res.DPUs, sc)
+	fmt.Print(res.Stats.Summary())
+	fmt.Printf("\nmodeled wall-clock (ms): kernel %.3f  CPU->DPU %.3f  DPU->CPU %.3f  DPU<->DPU %.3f  total %.3f\n",
+		res.Report.KernelSeconds*1e3,
+		res.Report.TransferSeconds[0]*1e3,
+		res.Report.TransferSeconds[1]*1e3,
+		res.Report.TransferSeconds[2]*1e3,
+		res.Report.Total()*1e3)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "upimulator:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,67 @@
+// Cache vs scratchpad (case study 4, Fig 15/16): BS statically overfetches
+// 256B per probe under the scratchpad-centric model, so an on-demand cache
+// slashes its DRAM traffic; UNI's perfectly predictable streaming is the
+// opposite — explicit DMA staging beats the cache. Neither design wins
+// everywhere, which is the paper's point.
+//
+// Run with: go run ./examples/cachevsscratch
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"upim"
+)
+
+func main() {
+	for _, name := range []string{"BS", "UNI"} {
+		fmt.Printf("=== %s (16 tasklets, small scale) ===\n", name)
+		var spadCycles, spadBytes, cacheCycles, cacheBytes float64
+		for _, mode := range []upim.Mode{upim.ModeScratchpad, upim.ModeCache} {
+			cfg := upim.DefaultConfig()
+			cfg.NumTasklets = 16
+			cfg.Mode = mode
+			res, err := upim.RunBenchmark(name, cfg, 1, upim.ScaleSmall)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %-11s %10d cycles, %8.2f MB read from DRAM", mode, res.Stats.Cycles,
+				float64(res.Stats.DRAM.BytesRead)/1e6)
+			if mode == upim.ModeCache {
+				fmt.Printf("  (D$ hit rate %.1f%%, %d MSHR merges)",
+					res.Stats.DCache.HitRate()*100, res.Stats.DCache.MSHRMerges)
+				cacheCycles = float64(res.Stats.Cycles)
+				cacheBytes = float64(res.Stats.DRAM.BytesRead)
+			} else {
+				spadCycles = float64(res.Stats.Cycles)
+				spadBytes = float64(res.Stats.DRAM.BytesRead)
+			}
+			fmt.Println()
+		}
+		fmt.Printf("  cache reads %.1fx %s DRAM bytes and runs %.2fx %s\n\n",
+			ratio(cacheBytes, spadBytes), fewerMore(cacheBytes, spadBytes),
+			ratio(cacheCycles, spadCycles), fasterSlower(cacheCycles, spadCycles))
+	}
+}
+
+func ratio(a, b float64) float64 {
+	if a < b {
+		return b / a
+	}
+	return a / b
+}
+
+func fewerMore(a, b float64) string {
+	if a < b {
+		return "fewer"
+	}
+	return "more"
+}
+
+func fasterSlower(a, b float64) string {
+	if a < b {
+		return "faster"
+	}
+	return "slower"
+}

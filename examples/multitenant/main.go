@@ -1,0 +1,100 @@
+// Multi-tenancy (case study 3): the paper argues PIM needs (a) an MMU for
+// address-space isolation between tenants and (b) a memory organisation
+// that doesn't force co-located programs to fight over one scratchpad.
+//
+// This example demonstrates both halves:
+//
+//  1. Transparency: co-locating BS and TS — the paper's complementary
+//     memory-bound + compute-bound candidates — on one DPU means one 64KB
+//     WRAM must hold both tenants' static buffers plus stacks for all 24
+//     tasklets. The linker rejects the merged image, so scratchpad-centric
+//     co-location requires rewriting the tenants (the paper's
+//     "non-option"). The same image links fine under the cache-centric
+//     model, where statics remap into the DRAM-backed space.
+//  2. Security/practicality: running the two tenants on disjoint DPU groups
+//     with the MMU enabled (16-entry TLB, 4KB pages, demand faults handled
+//     by the host) costs only a small slowdown, matching the paper's
+//     "average 0.8%, max 14.1%" finding.
+//
+// Run with: go run ./examples/multitenant
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"upim"
+)
+
+// tenantStatics mirrors the WRAM footprints of the two PrIM kernels as the
+// suite links them (per-tasklet staging buffers and result trackers).
+func tenantStatics(b *upim.KernelBuilder, tenant string) int {
+	sizes := map[string][][2]any{
+		"BS": {{"qbuf", 16 * 64 * 4}, {"pbuf", 16 * 256}, {"obuf", 16 * 64 * 4}},
+		"TS": {{"best", 16 * 64 * 8}, {"qbuf", 64 * 8 * 4}, {"sbuf", 16 * (120 + 8) * 4}},
+	}
+	total := 0
+	for _, s := range sizes[tenant] {
+		b.Static(tenant+"."+s[0].(string), s[1].(int), 8)
+		total += s[1].(int)
+	}
+	return total
+}
+
+func main() {
+	// --- Part 1: the transparency problem -------------------------------
+	merged := upim.NewKernel("bs-plus-ts")
+	total := tenantStatics(merged, "BS") + tenantStatics(merged, "TS")
+	merged.Stop()
+	obj := merged.MustBuild()
+
+	// Co-location shares the DPU: both tenants' tasklets (24 = the hardware
+	// maximum) and both static footprints in one WRAM.
+	coloc := upim.DefaultConfig()
+	coloc.NumTasklets = 24
+
+	fmt.Println("Part 1: co-locating BS and TS in one scratchpad")
+	fmt.Printf("  combined WRAM statics: %d KB; stacks for 24 tasklets: %d KB; WRAM: %d KB\n",
+		total>>10, 24*coloc.StackBytes>>10, coloc.WRAMBytes>>10)
+	if _, err := upim.Link(obj, coloc); err != nil {
+		fmt.Printf("  linker: %v\n", err)
+		fmt.Println("  -> transparent scratchpad co-location is impossible without")
+		fmt.Println("     rewriting the tenants, exactly the paper's argument.")
+	} else {
+		log.Fatal("expected the merged image to overflow WRAM")
+	}
+	cacheCfg := coloc
+	cacheCfg.Mode = upim.ModeCache
+	if _, err := upim.Link(obj, cacheCfg); err != nil {
+		log.Fatalf("cache-mode link should succeed: %v", err)
+	}
+	fmt.Println("  cache-centric link of the same image: OK (statics remapped to DRAM-backed space)")
+
+	// --- Part 2: per-DPU tenants with MMU isolation ----------------------
+	fmt.Println("\nPart 2: per-DPU tenants with address translation")
+	for _, tenant := range []string{"BS", "TS"} {
+		base := runTenant(tenant, false)
+		mmu := runTenant(tenant, true)
+		over := float64(mmu.Stats.Cycles)/float64(base.Stats.Cycles) - 1
+		hits := float64(mmu.Stats.MMU.TLBHits)
+		rate := hits / (hits + float64(mmu.Stats.MMU.TLBMisses))
+		fmt.Printf("  tenant %-4s  MMU slowdown %5.2f%%  TLB hit rate %5.2f%%  walks %d  faults %d\n",
+			tenant, over*100, rate*100, mmu.Stats.MMU.TableWalks, mmu.Stats.MMU.PageFaults)
+	}
+	fmt.Println("  -> translation is cheap because DMA staging is coarse-grained and")
+	fmt.Println("     spatially local, exactly as the paper observes.")
+}
+
+func runTenant(name string, mmu bool) *upim.BenchmarkResult {
+	cfg := upim.DefaultConfig()
+	cfg.NumTasklets = 16
+	if mmu {
+		cfg.MMU.Enable = true
+		cfg.MMU.Prefault = false
+	}
+	res, err := upim.RunBenchmark(name, cfg, 2, upim.ScaleSmall)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
+}

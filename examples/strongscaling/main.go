@@ -1,0 +1,45 @@
+// Strong scaling (the paper's Fig 10 methodology): run streaming and
+// communication-bound PrIM workloads across 1/4/16/64 DPUs and watch where
+// the time goes — kernels shrink with DPU count while CPU<->DPU transfer
+// becomes the wall, and BS/BFS/NW scale sub-linearly because their
+// communication grows with the DPU count.
+//
+// Run with: go run ./examples/strongscaling
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"upim"
+)
+
+func main() {
+	cfg := upim.DefaultConfig()
+	cfg.NumTasklets = 16
+
+	for _, name := range []string{"VA", "RED", "BS", "BFS"} {
+		fmt.Printf("=== %s ===\n", name)
+		fmt.Printf("%6s %12s %12s %12s %12s %10s\n",
+			"DPUs", "kernel ms", "cpu->dpu ms", "dpu->cpu ms", "dpu<->dpu ms", "speedup")
+		var base float64
+		for _, dpus := range []int{1, 4, 16, 64} {
+			res, err := upim.RunBenchmark(name, cfg, dpus, upim.ScaleSmall)
+			if err != nil {
+				log.Fatal(err)
+			}
+			total := res.Report.Total()
+			if dpus == 1 {
+				base = total
+			}
+			fmt.Printf("%6d %12.3f %12.3f %12.3f %12.3f %9.2fx\n",
+				dpus,
+				res.Report.KernelSeconds*1e3,
+				res.Report.TransferSeconds[0]*1e3,
+				res.Report.TransferSeconds[1]*1e3,
+				res.Report.TransferSeconds[2]*1e3,
+				base/total)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,204 @@
+// Package cache implements the set-associative, LRU, write-back caches used
+// by the cache-centric UPMEM-PIM design of case study 4 (paper Fig 14(b),
+// Fig 15/16): an instruction cache and a data cache with MSHR-based load
+// coalescing. The cache is a timing/traffic model: functional data lives in
+// the MRAM backing store, so only tags, recency, dirtiness and in-flight
+// fills are tracked here.
+package cache
+
+import (
+	"fmt"
+
+	"upim/internal/config"
+	"upim/internal/stats"
+)
+
+// Tick aliases the simulator time unit.
+type Tick = config.Tick
+
+// Backend is the memory system beneath the cache. Fill returns the tick the
+// requested line's data is available; Writeback posts a dirty line to a write
+// buffer and returns when it is accepted (the cache does not wait for it).
+type Backend interface {
+	Fill(lineAddr uint32, lineBytes int, now Tick) Tick
+	Writeback(lineAddr uint32, lineBytes int, now Tick) Tick
+}
+
+type line struct {
+	tag     uint32
+	valid   bool
+	dirty   bool
+	lastUse uint64
+}
+
+// Cache is one set-associative cache instance.
+type Cache struct {
+	cfg      config.CacheConfig
+	sets     [][]line
+	nsets    uint32
+	backend  Backend
+	st       *stats.Cache
+	useClock uint64
+	inflight map[uint32]Tick // lineAddr -> fill completion (MSHR)
+}
+
+// New builds a cache. Size must be divisible by ways*line; any resulting set
+// count (including non-powers-of-two) is legal.
+func New(cfg config.CacheConfig, backend Backend, st *stats.Cache) (*Cache, error) {
+	if cfg.LineBytes <= 0 || cfg.Ways <= 0 || cfg.SizeBytes <= 0 {
+		return nil, fmt.Errorf("cache: non-positive geometry %+v", cfg)
+	}
+	if cfg.SizeBytes%(cfg.LineBytes*cfg.Ways) != 0 {
+		return nil, fmt.Errorf("cache: size %d not divisible by ways*line %d", cfg.SizeBytes, cfg.LineBytes*cfg.Ways)
+	}
+	nsets := cfg.SizeBytes / (cfg.LineBytes * cfg.Ways)
+	sets := make([][]line, nsets)
+	for i := range sets {
+		sets[i] = make([]line, cfg.Ways)
+	}
+	return &Cache{
+		cfg: cfg, sets: sets, nsets: uint32(nsets),
+		backend: backend, st: st, inflight: map[uint32]Tick{},
+	}, nil
+}
+
+// LineBytes returns the configured line size.
+func (c *Cache) LineBytes() int { return c.cfg.LineBytes }
+
+// index computes the line address and set. Set selection XOR-folds the
+// upper address bits before the modulo (a standard anti-aliasing hash): a
+// plain modulo makes every power-of-2-strided stream — e.g. 16 tasklets
+// whose partitions sit exactly 32KB apart — collide into the same sets and
+// thrash an 8-way cache. The modulo also keeps non-power-of-two geometries
+// (the 24KB 8-way I$ = 48 sets) correct.
+func (c *Cache) index(addr uint32) (lineAddr, set uint32) {
+	lineAddr = addr &^ uint32(c.cfg.LineBytes-1)
+	idx := lineAddr / uint32(c.cfg.LineBytes)
+	h := idx ^ (idx / c.nsets) ^ (idx / c.nsets / c.nsets)
+	set = h % c.nsets
+	return
+}
+
+// SetIndex exposes the set-selection hash (reference models in tests).
+func (c *Cache) SetIndex(addr uint32) uint32 {
+	_, set := c.index(addr)
+	return set
+}
+
+func (c *Cache) reapMSHR(now Tick) {
+	for la, done := range c.inflight {
+		if done <= now {
+			delete(c.inflight, la)
+		}
+	}
+}
+
+// Access performs one load or store and returns the tick the data is ready
+// (== now on hits). Stores follow write-back/write-allocate by default; with
+// WriteAllocate disabled, store misses post through a write buffer without
+// stalling or allocating.
+func (c *Cache) Access(addr uint32, write bool, now Tick) Tick {
+	c.reapMSHR(now)
+	lineAddr, set := c.index(addr)
+	ways := c.sets[set]
+	c.useClock++
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == lineAddr {
+			ways[i].lastUse = c.useClock
+			if write {
+				ways[i].dirty = true
+			}
+			// The tag is installed at miss time, but the data may still be
+			// in flight: later accesses either ride the fill (MSHR merge)
+			// or, without load coalescing, pay for a refetch of their own.
+			if done, ok := c.inflight[lineAddr]; ok && done > now {
+				if c.cfg.LoadCoalescing {
+					c.st.MSHRMerges++
+					return done
+				}
+				c.st.Misses++
+				done = c.backend.Fill(lineAddr, c.cfg.LineBytes, now)
+				c.inflight[lineAddr] = done
+				return done
+			}
+			c.st.Hits++
+			return now
+		}
+	}
+	// Miss. MSHR coalescing: ride an in-flight fill of the same line.
+	if done, ok := c.inflight[lineAddr]; ok && c.cfg.LoadCoalescing {
+		c.st.MSHRMerges++
+		if write {
+			c.markDirty(lineAddr, set)
+		}
+		return done
+	}
+	if write && !c.cfg.WriteAllocate {
+		// Posted write: traffic only, no allocation, no stall.
+		c.st.Misses++
+		c.st.Writebacks++
+		c.backend.Writeback(lineAddr, c.cfg.LineBytes, now)
+		return now
+	}
+	c.st.Misses++
+	victim := c.pickVictim(ways)
+	if ways[victim].valid {
+		c.st.Evictions++
+		if ways[victim].dirty {
+			c.st.Writebacks++
+			c.backend.Writeback(ways[victim].tag, c.cfg.LineBytes, now)
+		}
+	}
+	done := c.backend.Fill(lineAddr, c.cfg.LineBytes, now)
+	ways[victim] = line{tag: lineAddr, valid: true, dirty: write, lastUse: c.useClock}
+	c.inflight[lineAddr] = done
+	return done
+}
+
+func (c *Cache) markDirty(lineAddr, set uint32) {
+	for i := range c.sets[set] {
+		if c.sets[set][i].valid && c.sets[set][i].tag == lineAddr {
+			c.sets[set][i].dirty = true
+			return
+		}
+	}
+}
+
+func (c *Cache) pickVictim(ways []line) int {
+	victim, oldest := 0, ^uint64(0)
+	for i := range ways {
+		if !ways[i].valid {
+			return i
+		}
+		if ways[i].lastUse < oldest {
+			oldest = ways[i].lastUse
+			victim = i
+		}
+	}
+	return victim
+}
+
+// Contains reports whether the line holding addr is resident (testing hook).
+func (c *Cache) Contains(addr uint32) bool {
+	lineAddr, set := c.index(addr)
+	for _, l := range c.sets[set] {
+		if l.valid && l.tag == lineAddr {
+			return true
+		}
+	}
+	return false
+}
+
+// FlushDirty writes back every dirty line (end-of-kernel accounting so the
+// scratchpad-vs-cache byte counts compare like for like).
+func (c *Cache) FlushDirty(now Tick) {
+	for _, ways := range c.sets {
+		for i := range ways {
+			if ways[i].valid && ways[i].dirty {
+				c.st.Writebacks++
+				c.backend.Writeback(ways[i].tag, c.cfg.LineBytes, now)
+				ways[i].dirty = false
+			}
+		}
+	}
+}

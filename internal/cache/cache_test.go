@@ -1,0 +1,242 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"upim/internal/config"
+	"upim/internal/stats"
+)
+
+// fakeBackend records fill/writeback traffic and serves fills after a fixed
+// latency.
+type fakeBackend struct {
+	fillLatency Tick
+	fills       []uint32
+	writebacks  []uint32
+}
+
+func (f *fakeBackend) Fill(lineAddr uint32, lineBytes int, now Tick) Tick {
+	f.fills = append(f.fills, lineAddr)
+	return now + f.fillLatency
+}
+
+func (f *fakeBackend) Writeback(lineAddr uint32, lineBytes int, now Tick) Tick {
+	f.writebacks = append(f.writebacks, lineAddr)
+	return now
+}
+
+func newCache(t *testing.T, mutate func(*config.CacheConfig)) (*Cache, *fakeBackend, *stats.Cache) {
+	t.Helper()
+	cfg := config.Default().DCache
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	be := &fakeBackend{fillLatency: 100}
+	st := &stats.Cache{}
+	c, err := New(cfg, be, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, be, st
+}
+
+func TestMissThenHit(t *testing.T) {
+	c, be, st := newCache(t, nil)
+	if ready := c.Access(0x100, false, 10); ready != 110 {
+		t.Fatalf("miss ready = %d, want 110", ready)
+	}
+	if ready := c.Access(0x104, false, 200); ready != 200 {
+		t.Fatalf("hit ready = %d, want 200", ready)
+	}
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if len(be.fills) != 1 || be.fills[0] != 0x100 {
+		t.Fatalf("fills = %v", be.fills)
+	}
+}
+
+func TestMSHRCoalescing(t *testing.T) {
+	c, be, st := newCache(t, nil)
+	first := c.Access(0x200, false, 0)
+	second := c.Access(0x208, false, 5) // same 64B line, fill in flight
+	if second != first {
+		t.Fatalf("coalesced access ready=%d, want %d", second, first)
+	}
+	if st.MSHRMerges != 1 || len(be.fills) != 1 {
+		t.Fatalf("merges=%d fills=%d", st.MSHRMerges, len(be.fills))
+	}
+	// After the fill lands the MSHR entry is reaped; a new access hits.
+	if ready := c.Access(0x210, false, 500); ready != 500 {
+		t.Fatalf("post-fill access = %d, want hit at 500", ready)
+	}
+}
+
+func TestCoalescingDisabledRefetches(t *testing.T) {
+	c, be, st := newCache(t, func(cc *config.CacheConfig) { cc.LoadCoalescing = false })
+	c.Access(0x200, false, 0)
+	ready := c.Access(0x208, false, 5)
+	if st.MSHRMerges != 0 {
+		t.Fatalf("merges = %d, want 0", st.MSHRMerges)
+	}
+	// Without MSHR merging the second access pays for its own refetch.
+	if len(be.fills) != 2 || st.Misses != 2 || st.Hits != 0 {
+		t.Fatalf("fills=%d misses=%d hits=%d", len(be.fills), st.Misses, st.Hits)
+	}
+	if ready != 105 {
+		t.Fatalf("refetch ready = %d, want 105", ready)
+	}
+	// After both fills land, accesses hit normally.
+	if got := c.Access(0x210, false, 500); got != 500 {
+		t.Fatalf("post-fill access = %d, want 500", got)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// Tiny cache: 2 ways x 1 set x 64B lines = 128B.
+	c, be, st := newCache(t, func(cc *config.CacheConfig) {
+		cc.SizeBytes, cc.Ways, cc.LineBytes = 128, 2, 64
+	})
+	c.Access(0x000, false, 0) // way 0
+	c.Access(0x040, false, 1) // way 1
+	c.Access(0x000, false, 2) // touch way 0 -> LRU is 0x040
+	c.Access(0x080, false, 3) // evicts 0x040
+	if !c.Contains(0x000) || c.Contains(0x040) || !c.Contains(0x080) {
+		t.Fatal("LRU victim selection wrong")
+	}
+	if st.Evictions != 1 {
+		t.Fatalf("evictions = %d", st.Evictions)
+	}
+	if len(be.writebacks) != 0 {
+		t.Fatal("clean eviction must not write back")
+	}
+}
+
+func TestDirtyEvictionWritesBack(t *testing.T) {
+	c, be, st := newCache(t, func(cc *config.CacheConfig) {
+		cc.SizeBytes, cc.Ways, cc.LineBytes = 128, 2, 64
+	})
+	c.Access(0x000, true, 0) // dirty
+	c.Access(0x040, false, 1)
+	c.Access(0x080, false, 2) // evicts dirty 0x000
+	if len(be.writebacks) != 1 || be.writebacks[0] != 0x000 {
+		t.Fatalf("writebacks = %v", be.writebacks)
+	}
+	if st.Writebacks != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestWriteNoAllocate(t *testing.T) {
+	c, be, st := newCache(t, func(cc *config.CacheConfig) { cc.WriteAllocate = false })
+	if ready := c.Access(0x300, true, 7); ready != 7 {
+		t.Fatalf("posted write must not stall, ready = %d", ready)
+	}
+	if len(be.fills) != 0 || len(be.writebacks) != 1 {
+		t.Fatalf("fills=%d writebacks=%d", len(be.fills), len(be.writebacks))
+	}
+	if c.Contains(0x300) {
+		t.Fatal("no-allocate store must not install a line")
+	}
+	if st.Misses != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestFlushDirty(t *testing.T) {
+	c, be, _ := newCache(t, nil)
+	c.Access(0x000, true, 0)
+	c.Access(0x040, false, 1)
+	c.Access(0x080, true, 2)
+	c.FlushDirty(100)
+	if len(be.writebacks) != 2 {
+		t.Fatalf("flush wrote back %d lines, want 2", len(be.writebacks))
+	}
+	// Second flush is a no-op.
+	c.FlushDirty(200)
+	if len(be.writebacks) != 2 {
+		t.Fatal("flush must clear dirty bits")
+	}
+}
+
+func TestGeometryValidation(t *testing.T) {
+	be := &fakeBackend{}
+	bad := []config.CacheConfig{
+		{SizeBytes: 0, Ways: 8, LineBytes: 64},
+		{SizeBytes: 100, Ways: 8, LineBytes: 64},
+	}
+	for _, cfg := range bad {
+		if _, err := New(cfg, be, &stats.Cache{}); err == nil {
+			t.Errorf("New(%+v) succeeded, want error", cfg)
+		}
+	}
+	// Non-power-of-two set counts are legal (the 24KB I$ has 48 sets).
+	if _, err := New(config.CacheConfig{SizeBytes: 24 << 10, Ways: 8, LineBytes: 64}, be, &stats.Cache{}); err != nil {
+		t.Errorf("48-set geometry rejected: %v", err)
+	}
+}
+
+// Property: hit/miss accounting is consistent with a reference model that
+// tracks resident lines as a map with the same LRU policy.
+func TestQuickMatchesReferenceLRU(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		cfg := config.CacheConfig{
+			SizeBytes: 1024, Ways: 4, LineBytes: 64,
+			LoadCoalescing: false, WriteAllocate: true,
+		}
+		be := &fakeBackend{fillLatency: 0}
+		st := &stats.Cache{}
+		c, err := New(cfg, be, st)
+		if err != nil {
+			return false
+		}
+		nsets := cfg.SizeBytes / (cfg.LineBytes * cfg.Ways)
+		type refLine struct {
+			tag uint32
+			use int
+		}
+		ref := make([][]refLine, nsets)
+		clock := 0
+		for i := 0; i < 400; i++ {
+			addr := uint32(r.Intn(1 << 13))
+			lineAddr := addr &^ uint32(cfg.LineBytes-1)
+			set := c.SetIndex(addr)
+			clock++
+			// Reference lookup.
+			refHit := false
+			for j := range ref[set] {
+				if ref[set][j].tag == lineAddr {
+					ref[set][j].use = clock
+					refHit = true
+					break
+				}
+			}
+			if !refHit {
+				if len(ref[set]) < cfg.Ways {
+					ref[set] = append(ref[set], refLine{lineAddr, clock})
+				} else {
+					v := 0
+					for j := range ref[set] {
+						if ref[set][j].use < ref[set][v].use {
+							v = j
+						}
+					}
+					ref[set][v] = refLine{lineAddr, clock}
+				}
+			}
+			hitsBefore := st.Hits
+			c.Access(addr, r.Intn(3) == 0, Tick(i*1000))
+			gotHit := st.Hits > hitsBefore
+			if gotHit != refHit {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

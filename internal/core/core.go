@@ -1,0 +1,570 @@
+// Package core implements the paper's primary contribution: the cycle-level
+// performance model of the UPMEM DPU. The DPU is a 14-stage in-order
+// fine-grained-multithreaded scalar core with:
+//
+//   - the "revolver" scheduling rule: two consecutive instructions of the
+//     same tasklet must issue >= 11 cycles apart (Section II-A);
+//   - an odd/even split register file whose structural hazard costs an extra
+//     issue slot when an instruction reads two distinct same-parity GPRs;
+//   - single-cycle WRAM/IRAM scratchpads;
+//   - a DMA engine staging MRAM<->WRAM transfers through a bandwidth-capped
+//     link backed by the DDR4 bank model (internal/dram);
+//   - the ILP case-study extensions (data forwarding, unified RF, 2-way
+//     superscalar, frequency scaling — Fig 12);
+//   - the cache-centric organisation (I/D caches in front of a DRAM-backed
+//     flat space — Fig 14(b)) and the MMU of case study 3;
+//   - a SIMT vector-engine organisation (Fig 11) in simt.go.
+//
+// Functional execution happens at issue: the architectural state is updated
+// immediately and timing is modeled by blocking the issuing tasklet.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"upim/internal/cache"
+	"upim/internal/config"
+	"upim/internal/dram"
+	"upim/internal/isa"
+	"upim/internal/linker"
+	"upim/internal/mem"
+	"upim/internal/mmu"
+	"upim/internal/stats"
+)
+
+// Tick aliases the simulator time unit.
+type Tick = config.Tick
+
+const neverWake = math.MaxUint64
+
+type threadState uint8
+
+const (
+	threadRunning threadState = iota
+	threadBlocked             // waiting on memory (DMA, cache fill, fault)
+	threadStopped
+)
+
+type thread struct {
+	id    int
+	pc    uint16
+	regs  [isa.NumGPR]uint32
+	state threadState
+
+	// wakeAt is the cycle a blocked thread becomes schedulable again;
+	// neverWake while the completion time is not yet known.
+	wakeAt uint64
+	// nextIssueAt enforces the revolver distance (or back-to-back issue
+	// under forwarding).
+	nextIssueAt uint64
+	// regReady tracks per-register producer completion cycles when data
+	// forwarding ("D") is enabled.
+	regReady [isa.NumGPR]uint64
+	// fetchPC/fetchReady memoize the I-cache lookup for the current fetch
+	// in cache mode.
+	fetchPC    int
+	fetchReady uint64
+	// instret counts instructions retired by this tasklet (PERF source).
+	instret uint64
+}
+
+// FaultError describes a simulation fault raised by the running program.
+type FaultError struct {
+	DPU     int
+	Tasklet int
+	PC      uint16
+	Instr   isa.Instruction
+	Err     error
+}
+
+func (e *FaultError) Error() string {
+	return fmt.Sprintf("core: dpu %d tasklet %d at pc %d (%s): %v",
+		e.DPU, e.Tasklet, e.PC, e.Instr, e.Err)
+}
+
+func (e *FaultError) Unwrap() error { return e.Err }
+
+// IssueEvent is one trace record (enabled via Config.TraceIssues).
+type IssueEvent struct {
+	Cycle      uint64
+	Tasklet    int
+	PC         uint16
+	Op         isa.Opcode
+	RFConflict bool
+}
+
+// DPU is one simulated DRAM Processing Unit.
+type DPU struct {
+	cfg  config.Config
+	id   int
+	prog *linker.Program
+
+	wram   *mem.WRAM
+	mram   *mem.MRAM
+	atomic *mem.Atomic
+	bank   *dram.Bank
+	link   *dram.Link
+	mmu    *mmu.MMU
+	icache *cache.Cache
+	dcache *cache.Cache
+
+	threads []*thread
+	cycle   uint64
+	tpc     Tick // ticks per DPU cycle
+
+	// rfDebt counts issue slots still owed to the odd/even RF hazard.
+	rfDebt int
+	rr     int // round-robin scan start
+
+	// DMA/fill completion routing.
+	nextTag uint64
+	sinks   map[uint64]func(Tick)
+
+	// SIMT state (built lazily when Mode == ModeSIMT).
+	warps []*warp
+
+	st    stats.DPU
+	trace []IssueEvent
+
+	// timeline sampling
+	tlAcc   float64
+	tlCount int
+
+	faultErr error
+}
+
+// New builds a DPU executing prog under cfg. The program must have been
+// linked for the same mode.
+func New(id int, prog *linker.Program, cfg config.Config) (*DPU, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if prog.Mode != cfg.Mode {
+		return nil, fmt.Errorf("core: program %q linked for %v but DPU configured for %v",
+			prog.Name, prog.Mode, cfg.Mode)
+	}
+	d := &DPU{
+		cfg:    cfg,
+		id:     id,
+		prog:   prog,
+		wram:   mem.NewWRAM(cfg.WRAMBytes),
+		mram:   mem.NewMRAM(cfg.MRAMBytes),
+		atomic: mem.NewAtomic(cfg.AtomicLocks),
+		tpc:    cfg.DPUTicksPerCycle(),
+		sinks:  map[uint64]func(Tick){},
+	}
+	d.bank = dram.NewBank(cfg, &d.st.DRAM)
+	d.link = dram.NewLink(cfg)
+	if cfg.MMU.Enable {
+		d.mmu = mmu.New(cfg.MMU, (*ptWalker)(d), &d.st.MMU)
+	}
+	if cfg.Mode == config.ModeCache {
+		var err error
+		if d.icache, err = cache.New(cfg.ICache, (*fillBackend)(d), &d.st.ICache); err != nil {
+			return nil, err
+		}
+		if d.dcache, err = cache.New(cfg.DCache, (*fillBackend)(d), &d.st.DCache); err != nil {
+			return nil, err
+		}
+	}
+	if err := d.load(); err != nil {
+		return nil, err
+	}
+	d.resetThreads()
+	return d, nil
+}
+
+// load copies the program's initialized static segments into their linked
+// locations (WRAM or the DRAM-backed static window).
+func (d *DPU) load() error {
+	for _, seg := range d.prog.StaticSegments() {
+		switch mem.Classify(seg.Addr, d.cfg.WRAMBytes) {
+		case mem.SpaceWRAM:
+			if err := d.wram.WriteBytes(seg.Addr-mem.WRAMBase, seg.Init); err != nil {
+				return err
+			}
+		case mem.SpaceMRAM:
+			if err := d.mram.WriteBytes(seg.Addr-mem.MRAMBase, seg.Init); err != nil {
+				return err
+			}
+			if d.mmu != nil {
+				d.mmu.MapRange(seg.Addr-mem.MRAMBase, len(seg.Init))
+			}
+		default:
+			return fmt.Errorf("core: segment %q at 0x%08x in unsupported space", seg.Name, seg.Addr)
+		}
+	}
+	return nil
+}
+
+func (d *DPU) resetThreads() {
+	n := d.cfg.NumTasklets
+	d.threads = make([]*thread, n)
+	for i := 0; i < n; i++ {
+		t := &thread{id: i, fetchPC: -1}
+		// ABI: r22 = stack pointer (per-tasklet stack carved from the top of
+		// WRAM), r23 = link register.
+		t.regs[22] = uint32(d.cfg.WRAMBytes - i*d.cfg.StackBytes)
+		d.threads[i] = t
+	}
+	if d.cfg.Mode == config.ModeSIMT {
+		d.buildWarps()
+	}
+}
+
+// ID returns the DPU's system-wide index.
+func (d *DPU) ID() int { return d.id }
+
+// Stats exposes the DPU's statistics record.
+func (d *DPU) Stats() *stats.DPU { return &d.st }
+
+// Trace returns the issue trace (empty unless Config.TraceIssues).
+func (d *DPU) Trace() []IssueEvent { return d.trace }
+
+// Cycles returns the executed cycle count.
+func (d *DPU) Cycles() uint64 { return d.cycle }
+
+// WRAM gives host-side access to the scratchpad (transfer accounting is the
+// host runtime's job).
+func (d *DPU) WRAM() *mem.WRAM { return d.wram }
+
+// MRAM gives host-side access to the DRAM bank contents.
+func (d *DPU) MRAM() *mem.MRAM { return d.mram }
+
+// MMU returns the MMU, or nil when translation is disabled.
+func (d *DPU) MMU() *mmu.MMU { return d.mmu }
+
+// Program returns the loaded program.
+func (d *DPU) Program() *linker.Program { return d.prog }
+
+// nowTick converts the current cycle to ticks.
+func (d *DPU) nowTick() Tick { return Tick(d.cycle) * d.tpc }
+
+// cycleOf converts a tick to the first cycle boundary at or after it.
+func (d *DPU) cycleOf(t Tick) uint64 {
+	return uint64((t + d.tpc - 1) / d.tpc)
+}
+
+// Relaunch resets the execution state (threads, scheduler) for another
+// kernel invocation while preserving memories, statistics and the clock —
+// the host uses this for iterative workloads (e.g. BFS levels).
+func (d *DPU) Relaunch() {
+	d.resetThreads()
+	d.rfDebt = 0
+	d.rr = 0
+	d.warps = d.warps[:0]
+	if d.cfg.Mode == config.ModeSIMT {
+		d.buildWarps()
+	}
+}
+
+// Run executes the kernel to completion (all tasklets stopped), bounded by
+// a budget of maxCycles beyond the current clock as a runaway/deadlock
+// watchdog.
+func (d *DPU) Run(maxCycles uint64) error {
+	deadline := d.cycle + maxCycles
+	if d.cfg.Mode == config.ModeSIMT {
+		return d.runSIMT(deadline)
+	}
+	width := d.cfg.IssueWidth
+	for d.cycle < deadline {
+		now := d.nowTick()
+		if d.bank.Pending() > 0 {
+			d.bank.Advance(now, d.onBurst)
+		}
+		d.wakeThreads()
+		if d.faultErr != nil {
+			return d.faultErr
+		}
+
+		issuable, memN, revN, alive := d.census()
+		if alive == 0 {
+			d.finish()
+			return d.faultErr
+		}
+		d.recordTLP(issuable, 1)
+
+		slots := width
+		for slots > 0 && d.rfDebt > 0 {
+			d.st.Idle[stats.IdleRF]++
+			d.rfDebt--
+			slots--
+		}
+		for slots > 0 {
+			if !d.issueOne() {
+				break
+			}
+			d.st.Issued++
+			slots--
+			if d.faultErr != nil {
+				return d.faultErr
+			}
+		}
+		if slots > 0 {
+			d.attributeIdle(float64(slots), memN, revN)
+		}
+		d.st.IssueSlots += float64(width)
+		d.cycle++
+
+		// Idle fast-forward: when nothing can issue and no RF debt remains,
+		// jump to the next event instead of ticking through dead cycles.
+		if issuable == 0 && d.rfDebt == 0 {
+			d.fastForward(deadline, memN, revN)
+		}
+	}
+	return fmt.Errorf("core: dpu %d exceeded the %d-cycle watchdog (deadlock or runaway kernel?)", d.id, maxCycles)
+}
+
+// census wakes nothing; it classifies threads at the top of the cycle and
+// returns (issuable, blocked-on-memory, revolver/dependency-waiting, alive).
+func (d *DPU) census() (issuable, memN, revN, alive int) {
+	for _, t := range d.threads {
+		switch t.state {
+		case threadStopped:
+			continue
+		case threadBlocked:
+			memN++
+			alive++
+			continue
+		}
+		alive++
+		// Cache-mode instruction fetch.
+		if d.icache != nil && t.fetchPC != int(t.pc) {
+			ready := d.icache.Access(d.iramBacking(t.pc), false, d.nowTick())
+			t.fetchPC = int(t.pc)
+			t.fetchReady = d.cycleOf(ready)
+			if t.fetchReady > d.cycle {
+				t.state = threadBlocked
+				t.wakeAt = t.fetchReady
+				memN++
+				continue
+			}
+		}
+		if d.canIssue(t) {
+			issuable++
+		} else {
+			revN++
+		}
+	}
+	return
+}
+
+// canIssue reports whether a running thread may issue this cycle.
+func (d *DPU) canIssue(t *thread) bool {
+	if t.nextIssueAt > d.cycle {
+		return false
+	}
+	if d.cfg.Forwarding {
+		in := &d.prog.Instrs[t.pc]
+		var buf [2]isa.RegID
+		for _, r := range in.SrcRegs(buf[:0]) {
+			if t.regReady[r] > d.cycle {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// issueOne selects the next issuable thread round-robin and executes one
+// instruction. It reports whether anything issued.
+func (d *DPU) issueOne() bool {
+	n := len(d.threads)
+	for i := 0; i < n; i++ {
+		t := d.threads[(d.rr+i)%n]
+		if t.state != threadRunning || !d.canIssue(t) {
+			continue
+		}
+		d.rr = (d.rr + i + 1) % n
+		d.execute(t)
+		return true
+	}
+	return false
+}
+
+func (d *DPU) wakeThreads() {
+	for _, t := range d.threads {
+		if t.state == threadBlocked && t.wakeAt <= d.cycle {
+			t.state = threadRunning
+		}
+	}
+}
+
+func (d *DPU) attributeIdle(slots float64, memN, revN int) {
+	tot := memN + revN
+	if tot == 0 {
+		// Only the just-issued thread(s) remain runnable; the leftover slot
+		// is a revolver artifact of the issuing thread itself.
+		d.st.Idle[stats.IdleRevolver] += slots
+		return
+	}
+	d.st.Idle[stats.IdleMemory] += slots * float64(memN) / float64(tot)
+	d.st.Idle[stats.IdleRevolver] += slots * float64(revN) / float64(tot)
+}
+
+// fastForward jumps the clock to the next scheduling event, bulk-accounting
+// the skipped idle cycles.
+func (d *DPU) fastForward(deadline uint64, memN, revN int) {
+	next := uint64(neverWake)
+	for _, t := range d.threads {
+		switch t.state {
+		case threadRunning:
+			ev := t.nextIssueAt
+			if d.cfg.Forwarding {
+				in := &d.prog.Instrs[t.pc]
+				var buf [2]isa.RegID
+				for _, r := range in.SrcRegs(buf[:0]) {
+					if t.regReady[r] > ev {
+						ev = t.regReady[r]
+					}
+				}
+			}
+			if ev < next {
+				next = ev
+			}
+		case threadBlocked:
+			if t.wakeAt < next {
+				next = t.wakeAt
+			}
+		}
+	}
+	if at, ok := d.bank.NextDecisionAt(); ok {
+		c := d.cycleOf(at)
+		if c < next {
+			next = c
+		}
+	}
+	if next == neverWake {
+		d.faultErr = fmt.Errorf("core: dpu %d deadlocked at cycle %d (all threads blocked with no pending events)", d.id, d.cycle)
+		return
+	}
+	if next > deadline {
+		next = deadline
+	}
+	if next <= d.cycle {
+		return
+	}
+	skip := next - d.cycle
+	width := float64(d.cfg.IssueWidth)
+	d.st.IssueSlots += float64(skip) * width
+	d.attributeIdle(float64(skip)*width, memN, revN)
+	d.recordTLP(0, skip)
+	d.cycle = next
+}
+
+// recordTLP accounts `count` cycles each observing `issuable` threads.
+func (d *DPU) recordTLP(issuable int, count uint64) {
+	d.st.TLPHist[stats.TLPBin(issuable)] += count
+	d.st.IssuableSum += uint64(issuable) * count
+	if w := d.cfg.TimelineWindow; w > 0 {
+		d.st.TimelineWindow = w
+		for count > 0 {
+			room := uint64(w - d.tlCount)
+			step := min(count, room)
+			d.tlAcc += float64(issuable) * float64(step)
+			d.tlCount += int(step)
+			count -= step
+			if d.tlCount == w {
+				d.st.Timeline = append(d.st.Timeline, float32(d.tlAcc/float64(w)))
+				d.tlAcc, d.tlCount = 0, 0
+			}
+		}
+	}
+}
+
+// finish closes out the kernel: drains the bank, flushes dirty cache lines
+// (so byte accounting is end-to-end), and freezes counters.
+func (d *DPU) finish() {
+	if d.bank.Pending() > 0 {
+		d.bank.Advance(^Tick(0), d.onBurst)
+	}
+	if d.dcache != nil {
+		d.dcache.FlushDirty(d.nowTick())
+		d.runEager() // account the writeback traffic
+	}
+	if err := d.bank.Drain(); err != nil && d.faultErr == nil {
+		d.faultErr = err
+	}
+	d.st.Cycles = d.cycle
+}
+
+// fault records a fatal simulation fault.
+func (d *DPU) fault(t *thread, in isa.Instruction, err error) {
+	if d.faultErr == nil {
+		d.faultErr = &FaultError{DPU: d.id, Tasklet: t.id, PC: t.pc, Instr: in, Err: err}
+	}
+}
+
+// --- memory-system glue -----------------------------------------------
+
+// iramBacking maps an instruction index to the DRAM address backing IRAM in
+// cache mode (instructions live in the top static window alongside data).
+func (d *DPU) iramBacking(pc uint16) uint32 {
+	return uint32(d.cfg.MRAMBytes-2<<20) + uint32(pc)*isa.WordBytes
+}
+
+// ptBase is the MRAM offset of the page table (8 bytes per PTE), kept below
+// the IRAM backing window (top-2MB) and the cache-mode static window
+// (top-1MB) so the three reserved regions never collide.
+func (d *DPU) ptBase() uint32 { return uint32(d.cfg.MRAMBytes - 3<<20) }
+
+// enqueueEager enqueues a burst and resolves it synchronously via an
+// immediate full drain (used for cache fills and PTE walks, which need a
+// completion time at call time).
+func (d *DPU) enqueueEager(addr uint32, write bool, now Tick) Tick {
+	tag := d.nextTag
+	d.nextTag++
+	var doneAt Tick
+	d.sinks[tag] = func(at Tick) { doneAt = at }
+	d.bank.Enqueue(addr, write, now, tag)
+	d.bank.Advance(^Tick(0), d.onBurst)
+	return doneAt
+}
+
+func (d *DPU) runEager() {
+	if d.bank.Pending() > 0 {
+		d.bank.Advance(^Tick(0), d.onBurst)
+	}
+}
+
+func (d *DPU) onBurst(tag uint64, completeAt Tick) {
+	sink := d.sinks[tag]
+	delete(d.sinks, tag)
+	if sink != nil {
+		sink(completeAt)
+	}
+}
+
+// fillBackend adapts the DPU's bank+link to the cache.Backend interface.
+type fillBackend DPU
+
+// Fill fetches a line through the bank and the MRAM<->core link.
+func (b *fillBackend) Fill(lineAddr uint32, lineBytes int, now Tick) Tick {
+	d := (*DPU)(b)
+	var last Tick
+	for off := 0; off < lineBytes; off += d.cfg.BurstBytes {
+		at := d.enqueueEager(lineAddr+uint32(off), false, now)
+		last = d.link.Reserve(at, d.cfg.BurstBytes)
+	}
+	return last
+}
+
+// Writeback posts a dirty line; the cache does not wait for it.
+func (b *fillBackend) Writeback(lineAddr uint32, lineBytes int, now Tick) Tick {
+	d := (*DPU)(b)
+	var last Tick
+	for off := 0; off < lineBytes; off += d.cfg.BurstBytes {
+		last = d.enqueueEager(lineAddr+uint32(off), true, now)
+	}
+	return last
+}
+
+// ptWalker adapts the bank to the MMU's page-table-walk timing interface.
+type ptWalker DPU
+
+// WalkPTE reads one PTE from the page table in MRAM.
+func (w *ptWalker) WalkPTE(vpage uint32, now Tick) Tick {
+	d := (*DPU)(w)
+	return d.enqueueEager(d.ptBase()+vpage*8, false, now)
+}

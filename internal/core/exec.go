@@ -1,0 +1,486 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"upim/internal/config"
+	"upim/internal/isa"
+	"upim/internal/mem"
+)
+
+// read returns a register operand's value; special registers materialize
+// their architectural meaning.
+func (d *DPU) read(t *thread, r isa.RegID) uint32 {
+	switch {
+	case r.IsGPR():
+		return t.regs[r]
+	case r == isa.Zero:
+		return 0
+	case r == isa.ID:
+		return uint32(t.id)
+	case r == isa.NTasklets:
+		return uint32(d.cfg.NumTasklets)
+	case r == isa.DPUID:
+		return uint32(d.id)
+	default:
+		return 0
+	}
+}
+
+func (d *DPU) write(t *thread, r isa.RegID, v uint32) {
+	if r.IsGPR() {
+		t.regs[r] = v
+	}
+}
+
+// aluOp computes an RRR/RRI arithmetic result.
+func aluOp(op isa.Opcode, a, b uint32) uint32 {
+	switch op {
+	case isa.OpADD:
+		return a + b
+	case isa.OpSUB:
+		return a - b
+	case isa.OpAND:
+		return a & b
+	case isa.OpOR:
+		return a | b
+	case isa.OpXOR:
+		return a ^ b
+	case isa.OpLSL:
+		return a << (b & 31)
+	case isa.OpLSR:
+		return a >> (b & 31)
+	case isa.OpASR:
+		return uint32(int32(a) >> (b & 31))
+	case isa.OpMUL:
+		return uint32(int32(a) * int32(b))
+	case isa.OpMULH:
+		return uint32(uint64(int64(int32(a))*int64(int32(b))) >> 32)
+	case isa.OpDIV:
+		return uint32(divSigned(int32(a), int32(b)))
+	case isa.OpREM:
+		return uint32(remSigned(int32(a), int32(b)))
+	default:
+		panic(fmt.Sprintf("core: aluOp on %s", op))
+	}
+}
+
+// divSigned follows the hardware convention: x/0 = -1 and INT_MIN/-1
+// saturates (no trap).
+func divSigned(a, b int32) int32 {
+	switch {
+	case b == 0:
+		return -1
+	case a == math.MinInt32 && b == -1:
+		return math.MinInt32
+	default:
+		return a / b
+	}
+}
+
+func remSigned(a, b int32) int32 {
+	switch {
+	case b == 0:
+		return a
+	case a == math.MinInt32 && b == -1:
+		return 0
+	default:
+		return a % b
+	}
+}
+
+// jccTaken evaluates a compare-and-branch.
+func jccTaken(op isa.Opcode, a, b uint32) bool {
+	switch op {
+	case isa.OpJEQ:
+		return a == b
+	case isa.OpJNE:
+		return a != b
+	case isa.OpJLT:
+		return int32(a) < int32(b)
+	case isa.OpJLE:
+		return int32(a) <= int32(b)
+	case isa.OpJGT:
+		return int32(a) > int32(b)
+	case isa.OpJGE:
+		return int32(a) >= int32(b)
+	case isa.OpJLTU:
+		return a < b
+	case isa.OpJGEU:
+		return a >= b
+	default:
+		panic(fmt.Sprintf("core: jccTaken on %s", op))
+	}
+}
+
+func loadSize(op isa.Opcode) (size int, signExtend bool) {
+	switch op {
+	case isa.OpLW, isa.OpSW:
+		return 4, false
+	case isa.OpLH:
+		return 2, true
+	case isa.OpLHU, isa.OpSH:
+		return 2, false
+	case isa.OpLB:
+		return 1, true
+	case isa.OpLBU, isa.OpSB:
+		return 1, false
+	default:
+		panic(fmt.Sprintf("core: loadSize on %s", op))
+	}
+}
+
+func signExtendVal(v uint32, size int) uint32 {
+	switch size {
+	case 1:
+		return uint32(int32(int8(v)))
+	case 2:
+		return uint32(int32(int16(v)))
+	default:
+		return v
+	}
+}
+
+// fwdLatency returns the producer-to-consumer forwarding latency for an
+// issued instruction's destination (forwarding mode only).
+func (d *DPU) fwdLatency(in *isa.Instruction) uint64 {
+	switch in.Class() {
+	case isa.ClassMulDiv:
+		return uint64(d.cfg.FwdLatMulDiv)
+	case isa.ClassLoadStore:
+		return uint64(d.cfg.FwdLatLoad)
+	default:
+		return uint64(d.cfg.FwdLatALU)
+	}
+}
+
+// execute issues one instruction of thread t at the current cycle,
+// performing its functional effects and applying its timing consequences.
+func (d *DPU) execute(t *thread) {
+	in := &d.prog.Instrs[t.pc]
+	d.st.Instructions++
+	d.st.Mix[in.Class()]++
+	t.instret++
+
+	rfConflict := !d.cfg.UnifiedRF && in.RFConflict()
+	if rfConflict {
+		d.rfDebt++
+	}
+	if d.cfg.TraceIssues {
+		d.trace = append(d.trace, IssueEvent{
+			Cycle: d.cycle, Tasklet: t.id, PC: t.pc, Op: in.Op, RFConflict: rfConflict,
+		})
+	}
+
+	// Revolver (or forwarding) spacing for the next issue of this thread.
+	if d.cfg.Forwarding {
+		t.nextIssueAt = d.cycle + 1
+	} else {
+		t.nextIssueAt = d.cycle + uint64(d.cfg.RevolverCycles)
+	}
+
+	nextPC := t.pc + 1
+	writeDst := func(r isa.RegID, v uint32) {
+		d.write(t, r, v)
+		if d.cfg.Forwarding && r.IsGPR() {
+			t.regReady[r] = d.cycle + d.fwdLatency(in)
+		}
+	}
+
+	switch in.Op.Format() {
+	case isa.FmtRRR:
+		var result uint32
+		if in.Op == isa.OpMOV {
+			result = d.read(t, in.Ra)
+		} else {
+			b := d.read(t, in.Rb)
+			if in.UseImm {
+				b = uint32(in.Imm)
+			}
+			result = aluOp(in.Op, d.read(t, in.Ra), b)
+		}
+		writeDst(in.Rd, result)
+		if in.Cond.Eval(int32(result)) {
+			nextPC = in.Target
+		}
+
+	case isa.FmtRI32:
+		writeDst(in.Rd, uint32(in.Imm))
+
+	case isa.FmtMem:
+		d.execMem(t, in, writeDst)
+
+	case isa.FmtDMA:
+		d.execDMA(t, in)
+
+	case isa.FmtJcc:
+		b := d.read(t, in.Rb)
+		if in.UseImm {
+			b = uint32(in.Imm)
+		}
+		if jccTaken(in.Op, d.read(t, in.Ra), b) {
+			nextPC = in.Target
+		}
+
+	case isa.FmtCtl:
+		switch in.Op {
+		case isa.OpJUMP:
+			nextPC = in.Target
+		case isa.OpCALL:
+			writeDst(isa.RegID(23), uint32(t.pc)+1)
+			nextPC = in.Target
+		case isa.OpJREG:
+			dest := d.read(t, in.Ra)
+			if dest >= uint32(len(d.prog.Instrs)) {
+				d.fault(t, *in, fmt.Errorf("jreg to %d beyond program end %d", dest, len(d.prog.Instrs)))
+				return
+			}
+			nextPC = uint16(dest)
+		}
+
+	case isa.FmtSync:
+		switch in.Op {
+		case isa.OpACQUIRE:
+			ok, err := d.atomic.TryAcquire(int(in.Imm), t.id)
+			if err != nil {
+				d.fault(t, *in, err)
+				return
+			}
+			if ok {
+				d.st.AcquireOK++
+			} else {
+				d.st.AcquireFail++
+				nextPC = in.Target
+			}
+		case isa.OpRELEASE:
+			if err := d.atomic.Release(int(in.Imm), t.id); err != nil {
+				d.fault(t, *in, err)
+				return
+			}
+		}
+
+	case isa.FmtNone:
+		switch in.Op {
+		case isa.OpSTOP:
+			t.state = threadStopped
+			return
+		case isa.OpPERF:
+			switch in.Imm {
+			case 0:
+				writeDst(in.Rd, uint32(d.cycle))
+			case 1:
+				writeDst(in.Rd, uint32(t.instret))
+			default:
+				writeDst(in.Rd, 0)
+			}
+		case isa.OpFAULT:
+			d.fault(t, *in, fmt.Errorf("software fault %d (r%d=%d)", in.Imm, in.Rd, d.read(t, in.Rd)))
+			return
+		case isa.OpNOP:
+		}
+	}
+	t.pc = nextPC
+}
+
+// execMem handles loads/stores. WRAM-space accesses are single-cycle; in
+// cache mode, MRAM-space accesses go through the D-cache (functional data is
+// read/written immediately; the tasklet stalls for the miss latency).
+func (d *DPU) execMem(t *thread, in *isa.Instruction, writeDst func(isa.RegID, uint32)) {
+	addr := d.read(t, in.Ra) + uint32(in.Imm)
+	size, signExtend := loadSize(in.Op)
+	space := mem.Classify(addr, d.cfg.WRAMBytes)
+
+	switch space {
+	case mem.SpaceWRAM:
+		if in.IsStore() {
+			if err := d.wram.Store(addr, size, d.read(t, in.Rd)); err != nil {
+				d.fault(t, *in, err)
+				return
+			}
+			d.st.WRAMWrites++
+		} else {
+			v, err := d.wram.Load(addr, size)
+			if err != nil {
+				d.fault(t, *in, err)
+				return
+			}
+			if signExtend {
+				v = signExtendVal(v, size)
+			}
+			writeDst(in.Rd, v)
+			d.st.WRAMReads++
+		}
+	case mem.SpaceMRAM:
+		if d.cfg.Mode != config.ModeCache {
+			d.fault(t, *in, fmt.Errorf("load/store to MRAM space 0x%08x under the scratchpad-centric model (use DMA)", addr))
+			return
+		}
+		off := addr - mem.MRAMBase
+		if d.mmu != nil {
+			poff, ready, err := d.mmu.Translate(off, d.nowTick())
+			if err != nil {
+				d.fault(t, *in, err)
+				return
+			}
+			off = poff
+			if c := d.cycleOf(ready); c > d.cycle {
+				// Translation stall; the access proceeds functionally and
+				// the thread pays the walk latency.
+				d.blockUntil(t, c)
+			}
+		}
+		if in.IsStore() {
+			if err := d.mram.Store(off, size, uint64(d.read(t, in.Rd))); err != nil {
+				d.fault(t, *in, err)
+				return
+			}
+		} else {
+			v64, err := d.mram.Load(off, size)
+			if err != nil {
+				d.fault(t, *in, err)
+				return
+			}
+			v := uint32(v64)
+			if signExtend {
+				v = signExtendVal(v, size)
+			}
+			writeDst(in.Rd, v)
+		}
+		ready := d.dcache.Access(off, in.IsStore(), d.nowTick())
+		if c := d.cycleOf(ready); c > d.cycle {
+			d.blockUntil(t, c)
+		}
+	default:
+		d.fault(t, *in, fmt.Errorf("load/store to %v space at 0x%08x", space, addr))
+	}
+}
+
+// blockUntil parks the thread until the given cycle; when the thread is
+// already blocked by an earlier stall of the same instruction, the later
+// wake-up wins.
+func (d *DPU) blockUntil(t *thread, cycle uint64) {
+	if t.state == threadBlocked && t.wakeAt != neverWake {
+		t.wakeAt = max(t.wakeAt, cycle)
+		return
+	}
+	t.state = threadBlocked
+	t.wakeAt = cycle
+}
+
+// dmaTransfer tracks an in-flight LDMA/SDMA.
+type dmaTransfer struct {
+	thread    *thread
+	remaining int
+	lastDone  Tick
+}
+
+// execDMA issues an MRAM<->WRAM DMA: functional copy now, timing through the
+// bank and link, with per-page MMU translation when enabled.
+func (d *DPU) execDMA(t *thread, in *isa.Instruction) {
+	wramAddr := d.read(t, in.Rd)
+	mramAddr := d.read(t, in.Ra)
+	length := in.Imm
+	if !in.UseImm {
+		length = int32(d.read(t, in.Rb))
+	}
+	if d.cfg.Mode != config.ModeScratchpad {
+		d.fault(t, *in, fmt.Errorf("DMA instructions are only defined under the scratchpad-centric model (mode %v)", d.cfg.Mode))
+		return
+	}
+	if length <= 0 || length%8 != 0 || length > 2048 {
+		d.fault(t, *in, fmt.Errorf("DMA length %d must be a positive multiple of 8 <= 2048", length))
+		return
+	}
+	if wramAddr%8 != 0 || mramAddr%8 != 0 {
+		d.fault(t, *in, fmt.Errorf("DMA addresses must be 8-byte aligned (wram 0x%x, mram 0x%x)", wramAddr, mramAddr))
+		return
+	}
+	if mem.Classify(mramAddr, d.cfg.WRAMBytes) != mem.SpaceMRAM {
+		d.fault(t, *in, fmt.Errorf("DMA MRAM address 0x%08x outside MRAM space", mramAddr))
+		return
+	}
+	off := mramAddr - mem.MRAMBase
+	n := int(length)
+	isLoad := in.Op == isa.OpLDMA
+
+	// Functional copy at issue (transfer-atomic semantics; see package doc).
+	buf := make([]byte, n)
+	var err error
+	if isLoad {
+		if err = d.mram.ReadBytes(off, buf); err == nil {
+			err = d.wram.WriteBytes(wramAddr, buf)
+		}
+	} else {
+		if err = d.wram.ReadBytes(wramAddr, buf); err == nil {
+			err = d.mram.WriteBytes(off, buf)
+		}
+	}
+	if err != nil {
+		d.fault(t, *in, err)
+		return
+	}
+	d.st.DMAs++
+	d.st.DMABytes += uint64(n)
+
+	// Timing: translate per touched page (MMU), then stream bursts through
+	// the bank; data crosses the MRAM<->WRAM link in burst grains.
+	now := d.nowTick()
+	tr := &dmaTransfer{thread: t}
+	bb := d.cfg.BurstBytes
+	nBursts := (n + bb - 1) / bb
+	tr.remaining = nBursts
+
+	pageBytes := uint32(0)
+	if d.mmu != nil {
+		pageBytes = uint32(d.mmu.PageBytes())
+	}
+	transReady := now
+	segStart := 0
+	for segStart < n {
+		segEnd := n
+		physBase := off + uint32(segStart)
+		if d.mmu != nil {
+			vaddr := off + uint32(segStart)
+			nextPage := (vaddr/pageBytes + 1) * pageBytes
+			if int(nextPage-off) < segEnd {
+				segEnd = int(nextPage - off)
+			}
+			paddr, ready, terr := d.mmu.Translate(vaddr, transReady)
+			if terr != nil {
+				d.fault(t, *in, terr)
+				return
+			}
+			physBase = paddr
+			transReady = ready
+		}
+		for b := segStart; b < segEnd; b += bb {
+			tag := d.nextTag
+			d.nextTag++
+			d.sinks[tag] = d.dmaSink(tr, isLoad)
+			d.bank.Enqueue(physBase+uint32(b-segStart), !isLoad, max(now, transReady), tag)
+		}
+		segStart = segEnd
+	}
+	// The tasklet blocks until the final burst clears the link; the wake
+	// cycle becomes known once the bank schedules that burst.
+	if t.state != threadBlocked {
+		t.state = threadBlocked
+		t.wakeAt = neverWake
+	}
+}
+
+// dmaSink routes one burst completion into its transfer: the data crosses
+// the link, and when the last burst lands the tasklet is scheduled to wake.
+func (d *DPU) dmaSink(tr *dmaTransfer, isLoad bool) func(Tick) {
+	return func(completeAt Tick) {
+		done := d.link.Reserve(completeAt, d.cfg.BurstBytes)
+		if done > tr.lastDone {
+			tr.lastDone = done
+		}
+		tr.remaining--
+		if tr.remaining == 0 {
+			tr.thread.wakeAt = d.cycleOf(tr.lastDone) + 1
+		}
+	}
+}

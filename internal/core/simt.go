@@ -1,0 +1,357 @@
+package core
+
+import (
+	"fmt"
+
+	"upim/internal/isa"
+	"upim/internal/mem"
+)
+
+// warp groups SIMTWidth consecutive tasklets for lockstep execution on the
+// vector unit (case study 1, Fig 11). Divergence is handled post-Volta
+// style: each lane keeps its own PC, and every issue executes the group of
+// runnable lanes sharing the minimum PC under an active mask.
+type warp struct {
+	id    int
+	lanes []*thread
+
+	nextIssueAt uint64
+	blocked     bool
+	wakeAt      uint64
+}
+
+func (d *DPU) buildWarps() {
+	w := d.cfg.SIMTWidth
+	for base := 0; base < len(d.threads); base += w {
+		end := min(base+w, len(d.threads))
+		d.warps = append(d.warps, &warp{
+			id:    base / w,
+			lanes: d.threads[base:end],
+		})
+	}
+}
+
+// runnableLanes returns the active-mask lanes: those at the minimum PC among
+// running lanes.
+func (w *warp) runnableLanes() (minPC uint16, active []*thread, alive int) {
+	minPC = ^uint16(0)
+	for _, t := range w.lanes {
+		if t.state == threadStopped {
+			continue
+		}
+		alive++
+		if t.pc < minPC {
+			minPC = t.pc
+		}
+	}
+	if alive == 0 {
+		return 0, nil, 0
+	}
+	for _, t := range w.lanes {
+		if t.state != threadStopped && t.pc == minPC {
+			active = append(active, t)
+		}
+	}
+	return minPC, active, alive
+}
+
+func (d *DPU) runSIMT(deadline uint64) error {
+	for d.cycle < deadline {
+		if d.bank.Pending() > 0 {
+			d.bank.Advance(d.nowTick(), d.onBurst)
+		}
+		// Wake warps whose vector memory op completed.
+		for _, w := range d.warps {
+			if w.blocked && w.wakeAt != neverWake && w.wakeAt <= d.cycle {
+				w.blocked = false
+			}
+		}
+		if d.faultErr != nil {
+			return d.faultErr
+		}
+
+		issuableWarps, issuableLanes, memN, revN, alive := d.simtCensus()
+		if alive == 0 {
+			d.finish()
+			return d.faultErr
+		}
+		d.recordTLP(issuableLanes, 1)
+		d.st.IssueSlots++
+
+		if issuableWarps > 0 {
+			d.issueWarp()
+			d.st.Issued++
+			if d.faultErr != nil {
+				return d.faultErr
+			}
+		} else {
+			d.attributeIdle(1, memN, revN)
+			d.simtFastForward(deadline, memN, revN)
+		}
+		d.cycle++
+	}
+	return fmt.Errorf("core: dpu %d exceeded its cycle watchdog in SIMT mode (deadline %d)", d.id, deadline)
+}
+
+func (d *DPU) simtCensus() (issuableWarps, issuableLanes, memN, revN, alive int) {
+	for _, w := range d.warps {
+		_, active, live := w.runnableLanes()
+		if live == 0 {
+			continue
+		}
+		alive++
+		switch {
+		case w.blocked:
+			memN++
+		case w.nextIssueAt > d.cycle:
+			revN++
+		default:
+			issuableWarps++
+			issuableLanes += len(active)
+		}
+	}
+	return
+}
+
+func (d *DPU) simtFastForward(deadline uint64, memN, revN int) {
+	next := uint64(neverWake)
+	for _, w := range d.warps {
+		if _, _, live := w.runnableLanes(); live == 0 {
+			continue
+		}
+		switch {
+		case w.blocked:
+			if w.wakeAt < next {
+				next = w.wakeAt
+			}
+		case w.nextIssueAt < next:
+			next = w.nextIssueAt
+		}
+	}
+	if at, ok := d.bank.NextDecisionAt(); ok {
+		if c := d.cycleOf(at); c < next {
+			next = c
+		}
+	}
+	if next == neverWake {
+		d.faultErr = fmt.Errorf("core: dpu %d deadlocked in SIMT mode at cycle %d", d.id, d.cycle)
+		return
+	}
+	if next > deadline {
+		next = deadline
+	}
+	// d.cycle+1 is consumed by the caller's increment; skip the rest.
+	if next <= d.cycle+1 {
+		return
+	}
+	skip := next - d.cycle - 1
+	d.st.IssueSlots += float64(skip)
+	d.attributeIdle(float64(skip), memN, revN)
+	d.recordTLP(0, skip)
+	d.cycle += skip
+}
+
+// issueWarp picks the next issuable warp round-robin and executes one vector
+// instruction.
+func (d *DPU) issueWarp() {
+	n := len(d.warps)
+	for i := 0; i < n; i++ {
+		w := d.warps[(d.rr+i)%n]
+		if w.blocked || w.nextIssueAt > d.cycle {
+			continue
+		}
+		minPC, active, alive := w.runnableLanes()
+		if alive == 0 || len(active) == 0 {
+			continue
+		}
+		d.rr = (d.rr + i + 1) % n
+		d.executeVector(w, minPC, active)
+		return
+	}
+}
+
+// executeVector executes prog.Instrs[pc] across the active lanes in lockstep.
+func (d *DPU) executeVector(w *warp, pc uint16, active []*thread) {
+	in := &d.prog.Instrs[pc]
+	d.st.VectorIssues++
+	d.st.Instructions += uint64(len(active))
+	d.st.Mix[in.Class()] += uint64(len(active))
+	w.nextIssueAt = d.cycle + uint64(d.cfg.RevolverCycles)
+	if d.cfg.TraceIssues {
+		d.trace = append(d.trace, IssueEvent{Cycle: d.cycle, Tasklet: w.lanes[0].id, PC: pc, Op: in.Op})
+	}
+
+	switch in.Op.Format() {
+	case isa.FmtMem:
+		d.executeVectorMem(w, in, active)
+		return
+	case isa.FmtDMA, isa.FmtSync:
+		d.fault(active[0], *in, fmt.Errorf("%s is not supported by the SIMT vector engine", in.Op))
+		return
+	}
+
+	for _, t := range active {
+		nextPC := pc + 1
+		switch in.Op.Format() {
+		case isa.FmtRRR:
+			var result uint32
+			if in.Op == isa.OpMOV {
+				result = d.read(t, in.Ra)
+			} else {
+				b := d.read(t, in.Rb)
+				if in.UseImm {
+					b = uint32(in.Imm)
+				}
+				result = aluOp(in.Op, d.read(t, in.Ra), b)
+			}
+			d.write(t, in.Rd, result)
+			if in.Cond.Eval(int32(result)) {
+				nextPC = in.Target
+			}
+		case isa.FmtRI32:
+			d.write(t, in.Rd, uint32(in.Imm))
+		case isa.FmtJcc:
+			b := d.read(t, in.Rb)
+			if in.UseImm {
+				b = uint32(in.Imm)
+			}
+			if jccTaken(in.Op, d.read(t, in.Ra), b) {
+				nextPC = in.Target
+			}
+		case isa.FmtCtl:
+			switch in.Op {
+			case isa.OpJUMP:
+				nextPC = in.Target
+			case isa.OpCALL:
+				d.write(t, isa.RegID(23), uint32(t.pc)+1)
+				nextPC = in.Target
+			case isa.OpJREG:
+				dest := d.read(t, in.Ra)
+				if dest >= uint32(len(d.prog.Instrs)) {
+					d.fault(t, *in, fmt.Errorf("jreg out of range"))
+					return
+				}
+				nextPC = uint16(dest)
+			}
+		case isa.FmtNone:
+			switch in.Op {
+			case isa.OpSTOP:
+				t.state = threadStopped
+				t.instret++
+				continue
+			case isa.OpPERF:
+				if in.Imm == 0 {
+					d.write(t, in.Rd, uint32(d.cycle))
+				} else {
+					d.write(t, in.Rd, uint32(t.instret))
+				}
+			case isa.OpFAULT:
+				d.fault(t, *in, fmt.Errorf("software fault %d", in.Imm))
+				return
+			}
+		}
+		t.pc = nextPC
+		t.instret++
+	}
+}
+
+// vecTransfer tracks an outstanding vector memory operation.
+type vecTransfer struct {
+	warp      *warp
+	remaining int
+	lastDone  Tick
+}
+
+// executeVectorMem performs a vector load/store: WRAM lanes complete in one
+// cycle; MRAM lanes issue (optionally coalesced) bursts straight to the
+// bank — the coalescer datapath of Fig 11(a), with no scratchpad staging.
+func (d *DPU) executeVectorMem(w *warp, in *isa.Instruction, active []*thread) {
+	size, signExtend := loadSize(in.Op)
+	isStore := in.IsStore()
+	now := d.nowTick()
+
+	burstMask := ^uint32(d.cfg.BurstBytes - 1)
+	seen := map[uint32]bool{}
+	var bursts []uint32
+
+	for _, t := range active {
+		addr := d.read(t, in.Ra) + uint32(in.Imm)
+		switch mem.Classify(addr, d.cfg.WRAMBytes) {
+		case mem.SpaceWRAM:
+			if isStore {
+				if err := d.wram.Store(addr, size, d.read(t, in.Rd)); err != nil {
+					d.fault(t, *in, err)
+					return
+				}
+				d.st.WRAMWrites++
+			} else {
+				v, err := d.wram.Load(addr, size)
+				if err != nil {
+					d.fault(t, *in, err)
+					return
+				}
+				if signExtend {
+					v = signExtendVal(v, size)
+				}
+				d.write(t, in.Rd, v)
+				d.st.WRAMReads++
+			}
+		case mem.SpaceMRAM:
+			off := addr - mem.MRAMBase
+			if isStore {
+				if err := d.mram.Store(off, size, uint64(d.read(t, in.Rd))); err != nil {
+					d.fault(t, *in, err)
+					return
+				}
+			} else {
+				v64, err := d.mram.Load(off, size)
+				if err != nil {
+					d.fault(t, *in, err)
+					return
+				}
+				v := uint32(v64)
+				if signExtend {
+					v = signExtendVal(v, size)
+				}
+				d.write(t, in.Rd, v)
+			}
+			d.st.UncoalescedRequests++
+			burst := off & burstMask
+			if d.cfg.SIMTCoalesce {
+				if !seen[burst] {
+					seen[burst] = true
+					bursts = append(bursts, burst)
+				}
+			} else {
+				bursts = append(bursts, burst)
+			}
+		default:
+			d.fault(t, *in, fmt.Errorf("vector load/store to invalid address 0x%08x", addr))
+			return
+		}
+		t.pc++
+		t.instret++
+	}
+
+	if len(bursts) == 0 {
+		return
+	}
+	d.st.CoalescedRequests += uint64(len(bursts))
+	tr := &vecTransfer{warp: w, remaining: len(bursts)}
+	for _, b := range bursts {
+		tag := d.nextTag
+		d.nextTag++
+		d.sinks[tag] = func(at Tick) {
+			if at > tr.lastDone {
+				tr.lastDone = at
+			}
+			tr.remaining--
+			if tr.remaining == 0 {
+				tr.warp.wakeAt = d.cycleOf(tr.lastDone) + 1
+			}
+		}
+		d.bank.Enqueue(b, isStore, now, tag)
+	}
+	w.blocked = true
+	w.wakeAt = neverWake
+}

@@ -1,0 +1,281 @@
+// Package dram models the per-DPU MRAM bank: a single DDR4-2400 DRAM bank
+// with a 1KB row buffer, FR-FCFS request scheduling, optional refresh, and
+// the bandwidth-capped MRAM<->WRAM link the DMA engine drains data through.
+//
+// Timing follows the paper's Table I (tRCD/tRAS/tRP/tCL/tBL expressed in
+// DRAM command-clock cycles at 1200 MHz); the simulator converts everything
+// into exact integer ticks (see internal/config). Requests are enqueued at
+// burst granularity (8 bytes by default); scheduling decisions are made
+// whenever the bank is free, choosing first-ready (open-row hits) then
+// first-come-first-serve, with an age cap so row misses cannot starve.
+package dram
+
+import (
+	"fmt"
+
+	"upim/internal/config"
+	"upim/internal/stats"
+)
+
+// Tick aliases the simulator time unit.
+type Tick = config.Tick
+
+// Burst is one bank transaction moving cfg.BurstBytes of data.
+type Burst struct {
+	Addr    uint32 // MRAM bank offset
+	Write   bool
+	Arrival Tick
+	Tag     uint64 // caller-owned identifier returned on completion
+
+	seq    uint64
+	row    uint32
+	issued bool
+}
+
+// CompletionFunc receives the tag and data-available tick of each scheduled
+// burst, in scheduling order.
+type CompletionFunc func(tag uint64, completeAt Tick)
+
+// Bank is the single-bank DRAM model.
+type Bank struct {
+	// timing in ticks
+	tRCD, tRAS, tRP, tCL, tBL Tick
+	tREFI, tRFC               Tick
+	refresh                   bool
+	frfcfs                    bool
+	burstBytes                int
+	rowBytes                  uint32
+
+	openRow        int64 // -1 when precharged
+	cmdReadyAt     Tick  // earliest tick the next column/row command may start
+	lastActivateAt Tick  // for tRAS enforcement
+	nextRefreshAt  Tick
+
+	// starvationCap bounds how long the oldest request may be bypassed by
+	// younger row hits (in ticks).
+	starvationCap Tick
+
+	// Request bookkeeping: a global FIFO plus per-row FIFOs, both with lazy
+	// deletion, so FR-FCFS picks are O(1) amortized even with thousands of
+	// queued bursts.
+	nextSeq uint64
+	pending int
+	globalQ fifo
+	rowQs   map[uint32]*fifo
+
+	st *stats.DRAM
+}
+
+type fifo struct {
+	items []*Burst
+	head  int
+}
+
+func (f *fifo) push(b *Burst) { f.items = append(f.items, b) }
+
+// peekPending returns the oldest unscheduled burst with Arrival <= t, or nil.
+func (f *fifo) peekPending(t Tick) *Burst {
+	for f.head < len(f.items) {
+		b := f.items[f.head]
+		if b.issued {
+			f.items[f.head] = nil
+			f.head++
+			continue
+		}
+		if b.Arrival > t {
+			return nil
+		}
+		return b
+	}
+	f.items = f.items[:0]
+	f.head = 0
+	return nil
+}
+
+// NewBank builds a bank from the configuration, recording statistics into st.
+func NewBank(cfg config.Config, st *stats.DRAM) *Bank {
+	dt := cfg.DRAMTicksPerCycle()
+	b := &Bank{
+		tRCD:          Tick(cfg.TRCD) * dt,
+		tRAS:          Tick(cfg.TRAS) * dt,
+		tRP:           Tick(cfg.TRP) * dt,
+		tCL:           Tick(cfg.TCL) * dt,
+		tBL:           Tick(cfg.TBL) * dt,
+		tREFI:         Tick(cfg.TREFI) * dt,
+		tRFC:          Tick(cfg.TRFC) * dt,
+		refresh:       cfg.RefreshEnable,
+		frfcfs:        cfg.MemSchedulerFRFCFS,
+		burstBytes:    cfg.BurstBytes,
+		rowBytes:      uint32(cfg.RowBytes),
+		openRow:       -1,
+		starvationCap: 2000 * dt,
+		rowQs:         map[uint32]*fifo{},
+		st:            st,
+	}
+	if b.refresh {
+		b.nextRefreshAt = b.tREFI
+	}
+	return b
+}
+
+// BurstBytes returns the bank's transaction size.
+func (b *Bank) BurstBytes() int { return b.burstBytes }
+
+// Pending reports the number of enqueued, not-yet-scheduled bursts.
+func (b *Bank) Pending() int { return b.pending }
+
+// Enqueue adds one burst to the request queue. Arrival must be
+// non-decreasing across calls for FR-FCFS fairness to be meaningful
+// (the simulator enqueues in simulation-time order).
+func (b *Bank) Enqueue(addr uint32, write bool, arrival Tick, tag uint64) {
+	burst := &Burst{
+		Addr: addr, Write: write, Arrival: arrival, Tag: tag,
+		seq: b.nextSeq, row: addr / b.rowBytes,
+	}
+	b.nextSeq++
+	b.pending++
+	b.globalQ.push(burst)
+	rq := b.rowQs[burst.row]
+	if rq == nil {
+		rq = &fifo{}
+		b.rowQs[burst.row] = rq
+	}
+	rq.push(burst)
+}
+
+// NextDecisionAt returns the earliest tick a scheduling decision could be
+// made (used by the DPU's idle fast-forward), or (0, false) when the queue
+// is empty.
+func (b *Bank) NextDecisionAt() (Tick, bool) {
+	oldest := b.globalQ.peekPending(^Tick(0))
+	if oldest == nil {
+		return 0, false
+	}
+	return max(b.cmdReadyAt, oldest.Arrival), true
+}
+
+// Advance makes every scheduling decision whose decision point is <= now,
+// invoking done for each scheduled burst with its data-completion tick
+// (which may lie beyond now).
+func (b *Bank) Advance(now Tick, done CompletionFunc) {
+	for b.pending > 0 {
+		oldest := b.globalQ.peekPending(^Tick(0))
+		if oldest == nil {
+			break // only lazily-deleted entries remained
+		}
+		t := max(b.cmdReadyAt, oldest.Arrival)
+		if t > now {
+			break
+		}
+		if b.refresh && t >= b.nextRefreshAt {
+			// Refresh: precharge all and stall tRFC.
+			start := max(t, b.nextRefreshAt)
+			b.openRow = -1
+			b.cmdReadyAt = start + b.tRFC
+			b.nextRefreshAt += b.tREFI
+			b.st.Refreshes++
+			continue
+		}
+		pick := b.pick(t, oldest)
+		b.service(pick, t, done)
+	}
+}
+
+// pick implements FR-FCFS with an age cap: the oldest row-hit request that
+// has arrived, unless the globally oldest request has waited past the cap
+// (or FR-FCFS is disabled), in which case strict FCFS order applies.
+func (b *Bank) pick(t Tick, oldest *Burst) *Burst {
+	if !b.frfcfs || t-oldest.Arrival > b.starvationCap {
+		return oldest
+	}
+	if b.openRow >= 0 {
+		if rq := b.rowQs[uint32(b.openRow)]; rq != nil {
+			if hit := rq.peekPending(t); hit != nil {
+				return hit
+			}
+		}
+	}
+	return oldest
+}
+
+func (b *Bank) service(burst *Burst, t Tick, done CompletionFunc) {
+	var complete Tick
+	switch {
+	case b.openRow == int64(burst.row):
+		// Row hit: column command, data after tCL, bus busy tBL.
+		complete = t + b.tCL + b.tBL
+		b.cmdReadyAt = t + b.tBL
+		b.st.RowHits++
+	case b.openRow == -1:
+		// Bank precharged: activate then column command.
+		b.lastActivateAt = t
+		complete = t + b.tRCD + b.tCL + b.tBL
+		b.cmdReadyAt = complete - b.tCL
+		b.openRow = int64(burst.row)
+		b.st.RowEmpty++
+	default:
+		// Row conflict: wait out tRAS, precharge, activate, access.
+		pre := t
+		if b.lastActivateAt+b.tRAS > pre {
+			pre = b.lastActivateAt + b.tRAS
+		}
+		b.lastActivateAt = pre + b.tRP
+		complete = pre + b.tRP + b.tRCD + b.tCL + b.tBL
+		b.cmdReadyAt = complete - b.tCL
+		b.openRow = int64(burst.row)
+		b.st.RowMisses++
+	}
+	if burst.Write {
+		b.st.WriteBursts++
+		b.st.BytesWritten += uint64(b.burstBytes)
+	} else {
+		b.st.ReadBursts++
+		b.st.BytesRead += uint64(b.burstBytes)
+	}
+	burst.issued = true
+	b.pending--
+	done(burst.Tag, complete)
+}
+
+// Drain asserts the queue is empty (used at end of kernel to catch lost
+// requests — a simulator self-check).
+func (b *Bank) Drain() error {
+	if b.pending != 0 {
+		return fmt.Errorf("dram: %d bursts still pending at drain", b.pending)
+	}
+	return nil
+}
+
+// Link models the bandwidth-capped MRAM<->WRAM datapath (2 B per DPU cycle by
+// default, i.e. 700 MB/s theoretical at 350 MHz — the resource Fig 13 scales).
+// It serializes whole bursts in the order their DRAM data becomes available.
+type Link struct {
+	ticksPerByte float64
+	freeAt       Tick
+}
+
+// NewLink builds the link from the configuration. Bandwidth is anchored to
+// the 350 MHz reference clock so scaling the core frequency (the ILP "F"
+// feature) does not inflate memory bandwidth.
+func NewLink(cfg config.Config) *Link {
+	return &Link{
+		ticksPerByte: float64(config.TicksPerCycle(config.LinkReferenceFreqMHz)) /
+			float64(cfg.LinkBytesPerCycle),
+	}
+}
+
+// Reserve schedules bytes through the link once they are ready (data
+// available from DRAM, or in WRAM for writes) and returns the tick the last
+// byte clears the link.
+func (l *Link) Reserve(ready Tick, bytes int) Tick {
+	start := max(l.freeAt, ready)
+	dur := Tick(float64(bytes)*l.ticksPerByte + 0.5)
+	if dur == 0 {
+		dur = 1
+	}
+	l.freeAt = start + dur
+	return l.freeAt
+}
+
+// FreeAt reports when the link next becomes idle.
+func (l *Link) FreeAt() Tick { return l.freeAt }

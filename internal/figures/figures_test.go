@@ -1,0 +1,168 @@
+package figures
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"upim/internal/prim"
+)
+
+// fast options: one cheap benchmark, tiny data.
+func fastOpts() Options {
+	return Options{Scale: prim.ScaleTiny, Benchmarks: []string{"VA"}}
+}
+
+func TestEveryExperimentRuns(t *testing.T) {
+	for _, e := range Experiments() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			opts := fastOpts()
+			if e.ID == "fig16" || e.ID == "fig8" {
+				opts.Benchmarks = []string{"VA"}
+			}
+			tab, err := e.Run(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tab == nil || len(tab.Header) == 0 || len(tab.Rows) == 0 {
+				t.Fatalf("%s produced an empty table", e.ID)
+			}
+			for _, row := range tab.Rows {
+				if len(row) > len(tab.Header) {
+					t.Fatalf("%s: row wider than header: %v", e.ID, row)
+				}
+			}
+		})
+	}
+}
+
+func TestByIDUnknown(t *testing.T) {
+	if _, err := ByID("nope"); err == nil {
+		t.Fatal("unknown id must error")
+	}
+}
+
+func TestTableFprintAligns(t *testing.T) {
+	tab := &Table{
+		ID: "X", Title: "demo",
+		Header: []string{"a", "long-column"},
+		Rows:   [][]string{{"wide-cell", "1"}, {"x", "2"}},
+	}
+	var sb strings.Builder
+	tab.Fprint(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "== X: demo ==") {
+		t.Fatal("missing banner")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Columns align: "long-column" starts at the same offset in all lines.
+	idx := strings.Index(lines[1], "long-column")
+	if idx < 0 {
+		t.Fatal("header missing")
+	}
+	if !strings.HasPrefix(lines[2][idx:], "1") || !strings.HasPrefix(lines[3][idx:], "2") {
+		t.Fatalf("columns misaligned:\n%s", out)
+	}
+}
+
+func TestCellFormatting(t *testing.T) {
+	cases := map[float64]string{0: "0", 3.14159: "3.14", 42.5: "42.5", 1234: "1234"}
+	for in, want := range cases {
+		if got := Cell(in); got != want {
+			t.Errorf("Cell(%v) = %q, want %q", in, got, want)
+		}
+	}
+	if Pct(0.123) != "12.3%" {
+		t.Fatal("Pct")
+	}
+}
+
+// TestShapeInvariants pins the headline qualitative findings the paper's
+// evaluation rests on, at tiny scale: BS is memory-bound while TS is
+// compute-bound (Fig 5); HST-L is synchronization-dominated (Fig 9); the
+// SIMT ladder orders Base < SIMT < SIMT+AC (Fig 11); and the ILP ladder
+// speeds up a compute-bound workload monotonically (Fig 12).
+func TestShapeInvariants(t *testing.T) {
+	t.Run("fig5-bounds", func(t *testing.T) {
+		t.Parallel()
+		tab, err := Fig5(Options{Scale: prim.ScaleTiny, Benchmarks: []string{"BS", "TS"}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		vals := map[string][2]string{}
+		for _, row := range tab.Rows {
+			if row[1] == "16" {
+				vals[row[0]] = [2]string{row[2], row[3]}
+			}
+		}
+		if pct(vals["BS"][0]) >= pct(vals["BS"][1]) {
+			t.Errorf("BS should be memory-bound: compute %s vs memory %s", vals["BS"][0], vals["BS"][1])
+		}
+		if pct(vals["TS"][0]) <= pct(vals["TS"][1]) {
+			t.Errorf("TS should be compute-bound: compute %s vs memory %s", vals["TS"][0], vals["TS"][1])
+		}
+	})
+	t.Run("fig9-hstl-sync", func(t *testing.T) {
+		t.Parallel()
+		tab, err := Fig9(Options{Scale: prim.ScaleTiny, Benchmarks: []string{"HST-L", "HST-S"}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var l, s float64
+		for _, row := range tab.Rows {
+			if row[0] == "HST-L" {
+				l = pct(row[6])
+			}
+			if row[0] == "HST-S" {
+				s = pct(row[6])
+			}
+		}
+		if l < 30 {
+			t.Errorf("HST-L sync fraction = %.1f%%, want contention-dominated", l)
+		}
+		if s >= l {
+			t.Errorf("HST-S sync (%.1f%%) should be far below HST-L (%.1f%%)", s, l)
+		}
+	})
+	t.Run("fig11-ladder", func(t *testing.T) {
+		t.Parallel()
+		tab, err := Fig11(Options{Scale: prim.ScaleTiny})
+		if err != nil {
+			t.Fatal(err)
+		}
+		speedup := map[string]float64{}
+		for _, row := range tab.Rows {
+			speedup[row[0]] = pct(row[5]) // plain float, no % sign
+		}
+		if !(speedup["SIMT"] > 1 && speedup["SIMT+AC"] > speedup["SIMT"] &&
+			speedup["SIMT+AC+4x"] >= speedup["SIMT+AC"]) {
+			t.Errorf("SIMT ladder out of order: %v", speedup)
+		}
+	})
+	t.Run("fig12-ts-monotone", func(t *testing.T) {
+		t.Parallel()
+		tab, err := Fig12(Options{Scale: prim.ScaleTiny, Benchmarks: []string{"TS"}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		prev := 0.0
+		for _, row := range tab.Rows {
+			s := pct(row[6])
+			if s < prev*0.98 { // allow tiny noise
+				t.Errorf("ILP ladder regressed at %s: %.2f after %.2f", row[1], s, prev)
+			}
+			prev = s
+		}
+		if prev < 2 {
+			t.Errorf("TS with D+R+S+F = %.2fx, want >= 2x (paper: avg 2.7x)", prev)
+		}
+	})
+}
+
+func pct(cell string) float64 {
+	cell = strings.TrimSuffix(cell, "%")
+	v, _ := strconv.ParseFloat(cell, 64)
+	return v
+}

@@ -1,0 +1,195 @@
+package host
+
+import (
+	"encoding/binary"
+	"math"
+	"strings"
+	"testing"
+
+	"upim/internal/config"
+	"upim/internal/kbuild"
+	"upim/internal/linker"
+)
+
+// dpuidKernel stores DPUID+arg0 into MRAM[arg1] (one word), exercising both
+// args and per-DPU identity.
+func dpuidKernel() *linker.Object {
+	b := kbuild.New("dpuid")
+	r0, r1, r2 := kbuild.R(0), kbuild.R(1), kbuild.R(2)
+	buf := b.Static("stage", 8, 8)
+	b.LoadArg(r0, 0)
+	b.Add(r0, r0, kbuild.DPUID)
+	b.MoviSym(r1, buf, 0)
+	b.Sw(r0, r1, 0)
+	b.LoadArg(r2, 1)
+	b.Sdmai(r1, r2, 8)
+	b.Stop()
+	return b.MustBuild()
+}
+
+func newTestSystem(t *testing.T, n int) *System {
+	t.Helper()
+	cfg := config.Default()
+	cfg.NumTasklets = 1
+	s, err := NewSystem(dpuidKernel(), cfg, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestMultiDPULaunch(t *testing.T) {
+	const n = 8
+	s := newTestSystem(t, n)
+	for i := 0; i < n; i++ {
+		if err := s.WriteArgs(i, 1000, MRAMBaseAddr(4096)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Launch(); err != nil {
+		t.Fatal(err)
+	}
+	s.SetPhase(PhaseOutput)
+	for i := 0; i < n; i++ {
+		out, err := s.ReadMRAM(i, 4096, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := binary.LittleEndian.Uint32(out); got != uint32(1000+i) {
+			t.Errorf("dpu %d result = %d, want %d", i, got, 1000+i)
+		}
+	}
+	rep := s.Report()
+	if rep.Launches != 1 || rep.KernelSeconds <= 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+}
+
+func TestTransferTimeModel(t *testing.T) {
+	s := newTestSystem(t, 4)
+	cfg := s.Config()
+	payload := make([]byte, 1<<20)
+	// Same-size transfers to all DPUs proceed in parallel: one transfer's
+	// time, not four.
+	for i := 0; i < 4; i++ {
+		if err := s.CopyToMRAM(i, 0, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep := s.Report()
+	want := float64(len(payload)) / cfg.CPUToDPUBytesPerSec
+	if math.Abs(rep.PhaseSeconds(PhaseInput)-want) > want*1e-9 {
+		t.Fatalf("input seconds = %g, want %g", rep.PhaseSeconds(PhaseInput), want)
+	}
+
+	// Reads are charged at the (slower) DPU->CPU bandwidth.
+	s.SetPhase(PhaseOutput)
+	if _, err := s.ReadMRAM(0, 0, 1<<20); err != nil {
+		t.Fatal(err)
+	}
+	rep = s.Report()
+	wantOut := float64(1<<20) / cfg.DPUToCPUBytesPerSec
+	if math.Abs(rep.PhaseSeconds(PhaseOutput)-wantOut) > wantOut*1e-9 {
+		t.Fatalf("output seconds = %g, want %g", rep.PhaseSeconds(PhaseOutput), wantOut)
+	}
+	if wantOut <= want {
+		t.Fatal("asymmetry lost: reads must be slower than writes")
+	}
+}
+
+func TestExchangePhaseBucketsBothDirections(t *testing.T) {
+	s := newTestSystem(t, 2)
+	s.SetPhase(PhaseExchange)
+	if _, err := s.ReadMRAM(0, 0, 4096); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CopyToMRAM(1, 0, make([]byte, 4096)); err != nil {
+		t.Fatal(err)
+	}
+	rep := s.Report()
+	cfg := s.Config()
+	want := 4096/cfg.DPUToCPUBytesPerSec + 4096/cfg.CPUToDPUBytesPerSec
+	if math.Abs(rep.PhaseSeconds(PhaseExchange)-want) > want*1e-9 {
+		t.Fatalf("exchange seconds = %g, want %g", rep.PhaseSeconds(PhaseExchange), want)
+	}
+	if rep.PhaseSeconds(PhaseInput) != 0 || rep.PhaseSeconds(PhaseOutput) != 0 {
+		t.Fatal("exchange leaked into other phases")
+	}
+}
+
+func TestRelaunchAccumulates(t *testing.T) {
+	s := newTestSystem(t, 2)
+	for i := 0; i < 2; i++ {
+		if err := s.WriteArgs(i, 5, MRAMBaseAddr(0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Launch(); err != nil {
+		t.Fatal(err)
+	}
+	k1 := s.Report().KernelSeconds
+	// Second launch with new args; memories persist, threads restart.
+	s.SetPhase(PhaseExchange)
+	for i := 0; i < 2; i++ {
+		if err := s.WriteArgs(i, 7, MRAMBaseAddr(8192)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Launch(); err != nil {
+		t.Fatal(err)
+	}
+	rep := s.Report()
+	if rep.Launches != 2 {
+		t.Fatalf("launches = %d", rep.Launches)
+	}
+	if rep.KernelSeconds <= k1 {
+		t.Fatal("second launch added no kernel time")
+	}
+	out, err := s.ReadMRAM(1, 8192, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := binary.LittleEndian.Uint32(out); got != 8 {
+		t.Fatalf("post-relaunch result = %d, want 8", got)
+	}
+}
+
+func TestLaunchPropagatesFaults(t *testing.T) {
+	b := kbuild.New("faulty")
+	b.Fault(kbuild.R(0), 1)
+	b.Stop()
+	cfg := config.Default()
+	cfg.NumTasklets = 1
+	s, err := NewSystem(b.MustBuild(), cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Launch(); err == nil || !strings.Contains(err.Error(), "software fault") {
+		t.Fatalf("err = %v, want fault propagation", err)
+	}
+}
+
+func TestArgsValidation(t *testing.T) {
+	s := newTestSystem(t, 1)
+	long := make([]uint32, linker.ArgWords+1)
+	if err := s.WriteArgs(0, long...); err == nil {
+		t.Fatal("oversized args accepted")
+	}
+}
+
+func TestAggregateStats(t *testing.T) {
+	s := newTestSystem(t, 4)
+	for i := 0; i < 4; i++ {
+		if err := s.WriteArgs(i, 1, MRAMBaseAddr(0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Launch(); err != nil {
+		t.Fatal(err)
+	}
+	agg := s.AggregateStats()
+	one := s.DPU(0).Stats().Instructions
+	if agg.Instructions != 4*one {
+		t.Fatalf("aggregate instructions = %d, want %d", agg.Instructions, 4*one)
+	}
+}

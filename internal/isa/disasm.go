@@ -1,0 +1,125 @@
+package isa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the instruction in the textual assembly syntax accepted by
+// internal/asm, with numeric branch targets.
+func (in Instruction) String() string {
+	var b strings.Builder
+	b.WriteString(in.Op.String())
+	arg := func(parts ...string) {
+		if b.Len() == len(in.Op.String()) {
+			b.WriteByte(' ')
+		} else {
+			b.WriteString(", ")
+		}
+		for _, p := range parts {
+			b.WriteString(p)
+		}
+	}
+	switch in.Op.Format() {
+	case FmtRRR:
+		arg(in.Rd.String())
+		arg(in.Ra.String())
+		if in.Op != OpMOV {
+			if in.UseImm {
+				arg(fmt.Sprint(in.Imm))
+			} else {
+				arg(in.Rb.String())
+			}
+		}
+		if in.Cond != CondNone {
+			arg(in.Cond.String())
+			arg(fmt.Sprint(in.Target))
+		}
+	case FmtRI32:
+		arg(in.Rd.String())
+		arg(fmt.Sprint(in.Imm))
+	case FmtMem:
+		arg(in.Rd.String())
+		arg(in.Ra.String())
+		arg(fmt.Sprint(in.Imm))
+	case FmtDMA:
+		arg(in.Rd.String())
+		arg(in.Ra.String())
+		if in.UseImm {
+			arg(fmt.Sprint(in.Imm))
+		} else {
+			arg(in.Rb.String())
+		}
+	case FmtJcc:
+		arg(in.Ra.String())
+		if in.UseImm {
+			arg(fmt.Sprint(in.Imm))
+		} else {
+			arg(in.Rb.String())
+		}
+		arg(fmt.Sprint(in.Target))
+	case FmtCtl:
+		if in.Op == OpJREG {
+			arg(in.Ra.String())
+		} else {
+			arg(fmt.Sprint(in.Target))
+		}
+	case FmtSync:
+		arg(fmt.Sprint(in.Imm))
+		if in.Op == OpACQUIRE {
+			arg(fmt.Sprint(in.Target))
+		}
+	case FmtNone:
+		if in.Op == OpPERF || in.Op == OpFAULT {
+			arg(in.Rd.String())
+			arg(fmt.Sprint(in.Imm))
+		}
+	}
+	return b.String()
+}
+
+// Disassemble renders a whole program, one instruction per line, prefixed
+// with instruction indices.
+func Disassemble(prog []Instruction) string {
+	var b strings.Builder
+	for i, in := range prog {
+		fmt.Fprintf(&b, "%4d:  %s\n", i, in)
+	}
+	return b.String()
+}
+
+// OpcodeByName resolves an assembly mnemonic; ok is false for unknown names.
+func OpcodeByName(name string) (Opcode, bool) {
+	op, ok := opsByName[name]
+	return op, ok
+}
+
+// CondByName resolves a condition mnemonic; ok is false for unknown names.
+func CondByName(name string) (Cond, bool) {
+	c, ok := condsByName[name]
+	return c, ok
+}
+
+// RegByName resolves a register name (r0..r23, zero, id, nth, dpuid).
+func RegByName(name string) (RegID, bool) {
+	r, ok := regsByName[name]
+	return r, ok
+}
+
+var (
+	opsByName   = map[string]Opcode{}
+	condsByName = map[string]Cond{}
+	regsByName  = map[string]RegID{}
+)
+
+func init() {
+	for op := Opcode(0); op < NumOpcodes; op++ {
+		opsByName[op.String()] = op
+	}
+	for c := Cond(1); c < NumConds; c++ {
+		condsByName[c.String()] = c
+	}
+	for r := RegID(0); r < NumRegs; r++ {
+		regsByName[r.String()] = r
+	}
+}

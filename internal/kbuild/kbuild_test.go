@@ -1,0 +1,168 @@
+package kbuild
+
+import (
+	"strings"
+	"testing"
+
+	"upim/internal/config"
+	"upim/internal/isa"
+	"upim/internal/linker"
+)
+
+func TestBuildResolvesLabels(t *testing.T) {
+	b := New("t")
+	b.Movi(R(0), 5)
+	b.Label("loop")
+	b.AddiBr(R(0), R(0), -1, CondNZ, "loop")
+	b.Jump("end")
+	b.Nop()
+	b.Label("end")
+	b.Stop()
+	obj, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obj.Instrs[1].Target != 1 {
+		t.Fatalf("backward label = %d", obj.Instrs[1].Target)
+	}
+	if obj.Instrs[2].Target != 4 {
+		t.Fatalf("forward label = %d", obj.Instrs[2].Target)
+	}
+}
+
+func TestUndefinedLabelFailsBuild(t *testing.T) {
+	b := New("t")
+	b.Jump("nowhere")
+	b.Stop()
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "undefined label") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	cases := []struct {
+		name string
+		f    func(*Builder)
+	}{
+		{"dup label", func(b *Builder) { b.Label("x"); b.Label("x") }},
+		{"imm overflow", func(b *Builder) { b.Addi(R(0), R(1), 1<<20) }},
+		{"bad reg", func(b *Builder) { b.Add(Reg(40), R(1), R(2)) }},
+		{"dma len", func(b *Builder) { b.Ldmai(R(0), R(1), 12) }},
+		{"dma too big", func(b *Builder) { b.Sdmai(R(0), R(1), 4096) }},
+		{"dup static", func(b *Builder) { b.Static("s", 8, 8); b.Static("s", 8, 8) }},
+		{"zero static", func(b *Builder) { b.Static("z", 0, 8) }},
+		{"unknown sym", func(b *Builder) { b.MoviSym(R(0), "ghost", 0) }},
+		{"bad arg index", func(b *Builder) { b.LoadArg(R(0), 99) }},
+		{"non-jcc br", func(b *Builder) { b.Br(isa.OpADD, R(0), R(1), "x") }},
+		{"bad align", func(b *Builder) { b.TaskletRangeAligned(R(0), R(1), R(2), R(3), 3) }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			c.f(New("p"))
+		})
+	}
+}
+
+func TestGensymUnique(t *testing.T) {
+	b := New("t")
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		s := b.Gensym("x")
+		if seen[s] {
+			t.Fatalf("gensym repeated %q", s)
+		}
+		seen[s] = true
+	}
+}
+
+func TestAllocLockSequential(t *testing.T) {
+	b := New("t")
+	if b.AllocLock() != 0 || b.AllocLock() != 1 || b.AllocLock() != 2 {
+		t.Fatal("lock allocation not sequential")
+	}
+}
+
+func TestAcquireSpinSelfTargets(t *testing.T) {
+	b := New("t")
+	b.Nop()
+	b.AcquireSpin(7)
+	b.Stop()
+	obj := b.MustBuild()
+	in := obj.Instrs[1]
+	if in.Op != isa.OpACQUIRE || in.Imm != 7 || in.Target != 1 {
+		t.Fatalf("acquire = %+v, want self-targeting spin", in)
+	}
+}
+
+func TestBarrierEmitsSyncAndStatics(t *testing.T) {
+	b := New("t")
+	bar := b.NewBarrier("b0")
+	b.Wait(bar, R(1), R(2), R(3))
+	b.Stop()
+	obj := b.MustBuild()
+	if len(obj.Statics) != 2 {
+		t.Fatalf("barrier statics = %d, want counter+generation", len(obj.Statics))
+	}
+	var acquires, releases int
+	for _, in := range obj.Instrs {
+		switch in.Op {
+		case isa.OpACQUIRE:
+			acquires++
+		case isa.OpRELEASE:
+			releases++
+		}
+	}
+	if acquires != 1 || releases != 2 {
+		t.Fatalf("barrier sync ops = %d acquire / %d release", acquires, releases)
+	}
+}
+
+func TestMoviSymFixups(t *testing.T) {
+	b := New("t")
+	s := b.Static("tbl", 64, 8)
+	b.MoviSym(R(3), s, 16)
+	b.Stop()
+	obj := b.MustBuild()
+	if len(obj.Fixups) != 1 || obj.Fixups[0].Symbol != "tbl" || obj.Fixups[0].Addend != 16 {
+		t.Fatalf("fixups = %+v", obj.Fixups)
+	}
+	// Link and confirm patching.
+	prog, err := linker.Link(obj, config.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, _ := prog.SymbolAddr("tbl")
+	if prog.Instrs[0].Imm != int32(addr)+16 {
+		t.Fatalf("patched imm = %d", prog.Instrs[0].Imm)
+	}
+}
+
+func TestBuildValidatesInstructions(t *testing.T) {
+	// Build() must re-validate the final stream (fixup targets excepted).
+	b := New("t")
+	b.Movi(R(0), 1)
+	b.Stop()
+	if _, err := b.Build(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTaskletRangeEmitsDivMul(t *testing.T) {
+	b := New("t")
+	b.TaskletRange(R(0), R(1), R(2), R(3))
+	b.Stop()
+	obj := b.MustBuild()
+	var hasDiv, hasMul bool
+	for _, in := range obj.Instrs {
+		hasDiv = hasDiv || in.Op == isa.OpDIV
+		hasMul = hasMul || in.Op == isa.OpMUL
+	}
+	if !hasDiv || !hasMul {
+		t.Fatal("partition macro must compute ceil-div and scale by ID")
+	}
+}

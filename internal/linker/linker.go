@@ -1,0 +1,226 @@
+// Package linker assembles final program images for the DPU: the IRAM
+// instruction stream, statically allocated data with its WRAM (or, in the
+// cache-centric design, DRAM-backed) addresses, and the symbol fixups that
+// patch address constants into instructions.
+//
+// It mirrors the paper's custom linker in two load-bearing ways:
+//
+//  1. In scratchpad mode it enforces the physical IRAM/WRAM capacities,
+//     exactly like UPMEM's linker (exceeding them is a link error).
+//  2. In cache mode it *relaxes* those limits by remapping the static data
+//     space into the DRAM-backed flat address space — the relocation trick
+//     Section V-D uses to emulate a cache-centric UPMEM-PIM.
+package linker
+
+import (
+	"fmt"
+	"sort"
+
+	"upim/internal/config"
+	"upim/internal/isa"
+	"upim/internal/mem"
+)
+
+// ArgsBytes is the size of the argument block the host writes at WRAM offset
+// 0 before each launch (the DPU_INPUT_ARGUMENTS analogue).
+const ArgsBytes = 64
+
+// ArgWords is the number of 32-bit argument words.
+const ArgWords = ArgsBytes / 4
+
+// StaticBase is the address statics start at, right after the args block.
+const StaticBase = ArgsBytes
+
+// CacheStaticMRAMOffset is where the static data region is remapped in MRAM
+// space under the cache-centric design: the top megabyte of the bank, safely
+// away from host-managed data at low offsets.
+const CacheStaticMRAMOffset = 63 << 20
+
+// Symbol is a named, linked data object.
+type Symbol struct {
+	Name  string
+	Addr  uint32 // final virtual address (address-map absolute)
+	Size  uint32
+	Align uint32
+	Init  []byte // optional initializer (len <= Size)
+}
+
+// Fixup patches instruction Index's 32-bit immediate (a MOVI) with the final
+// address of Symbol plus Addend.
+type Fixup struct {
+	Index  int
+	Symbol string
+	Addend int32
+}
+
+// Object is an unlinked compilation unit produced by the assembler or the
+// kernel builder.
+type Object struct {
+	Name    string
+	Instrs  []isa.Instruction
+	Statics []Symbol // in declaration order; Addr ignored until link
+	Fixups  []Fixup
+}
+
+// Program is a fully linked, loadable image.
+type Program struct {
+	Name    string
+	Mode    config.Mode
+	Instrs  []isa.Instruction
+	Symbols map[string]Symbol
+	// StaticBytes is the high-water mark of the static region, including the
+	// args block (for WRAM capacity accounting).
+	StaticBytes uint32
+	// StaticSpace is the address space statics were placed in.
+	StaticSpace mem.Space
+}
+
+// LinkError reports a link failure.
+type LinkError struct {
+	Program string
+	Reason  string
+}
+
+func (e *LinkError) Error() string {
+	return fmt.Sprintf("linker: %s: %s", e.Program, e.Reason)
+}
+
+func linkErr(name, format string, args ...any) error {
+	return &LinkError{Program: name, Reason: fmt.Sprintf(format, args...)}
+}
+
+func alignUp(v, a uint32) uint32 {
+	if a == 0 {
+		a = 1
+	}
+	return (v + a - 1) &^ (a - 1)
+}
+
+// Link lays out the object's statics for the given mode, applies fixups, and
+// enforces capacity limits.
+func Link(obj *Object, cfg config.Config) (*Program, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(obj.Instrs) == 0 {
+		return nil, linkErr(obj.Name, "empty program")
+	}
+	if len(obj.Instrs) > cfg.IRAMCapacity() {
+		return nil, linkErr(obj.Name, "program needs %d instructions but IRAM holds %d",
+			len(obj.Instrs), cfg.IRAMCapacity())
+	}
+
+	p := &Program{
+		Name:    obj.Name,
+		Mode:    cfg.Mode,
+		Instrs:  append([]isa.Instruction(nil), obj.Instrs...),
+		Symbols: make(map[string]Symbol, len(obj.Statics)),
+	}
+
+	// Lay out statics sequentially. The base depends on the mode: WRAM in
+	// the scratchpad-centric design, the DRAM-backed flat space in the
+	// cache-centric one (the linker's remapping feature).
+	var base uint32
+	switch cfg.Mode {
+	case config.ModeCache:
+		p.StaticSpace = mem.SpaceMRAM
+		base = mem.MRAMBase + CacheStaticMRAMOffset
+	default:
+		p.StaticSpace = mem.SpaceWRAM
+		base = mem.WRAMBase + StaticBase
+	}
+	cursor := base
+	for _, s := range obj.Statics {
+		if s.Size == 0 {
+			return nil, linkErr(obj.Name, "symbol %q has zero size", s.Name)
+		}
+		if _, dup := p.Symbols[s.Name]; dup {
+			return nil, linkErr(obj.Name, "duplicate symbol %q", s.Name)
+		}
+		if uint32(len(s.Init)) > s.Size {
+			return nil, linkErr(obj.Name, "symbol %q initializer (%d B) exceeds size (%d B)",
+				s.Name, len(s.Init), s.Size)
+		}
+		cursor = alignUp(cursor, s.Align)
+		placed := s
+		placed.Addr = cursor
+		p.Symbols[s.Name] = placed
+		cursor += s.Size
+	}
+	p.StaticBytes = cursor - base + ArgsBytes
+
+	// Capacity checks (the UPMEM-linker behaviour the paper works around).
+	switch cfg.Mode {
+	case config.ModeScratchpad, config.ModeSIMT:
+		stackNeed := uint32(cfg.NumTasklets * cfg.StackBytes)
+		if cfg.Mode == config.ModeSIMT {
+			// SIMT kernels keep locals in the vector RF; no stack carve-out.
+			stackNeed = 0
+		}
+		if p.StaticBytes+stackNeed > uint32(cfg.WRAMBytes) {
+			return nil, linkErr(obj.Name,
+				"WRAM overflow: %d B static + %d B stacks > %d B capacity (the UPMEM linker rejects this; link with Mode=cache to remap)",
+				p.StaticBytes, stackNeed, cfg.WRAMBytes)
+		}
+	case config.ModeCache:
+		if p.StaticBytes > 1<<20 {
+			return nil, linkErr(obj.Name, "static region %d B exceeds the 1MB cache-mode static window", p.StaticBytes)
+		}
+	}
+
+	// Apply fixups.
+	for _, f := range obj.Fixups {
+		if f.Index < 0 || f.Index >= len(p.Instrs) {
+			return nil, linkErr(obj.Name, "fixup index %d out of range", f.Index)
+		}
+		sym, ok := p.Symbols[f.Symbol]
+		if !ok {
+			return nil, linkErr(obj.Name, "undefined symbol %q", f.Symbol)
+		}
+		in := &p.Instrs[f.Index]
+		if in.Op != isa.OpMOVI {
+			return nil, linkErr(obj.Name, "fixup target %d is %s, want movi", f.Index, in.Op)
+		}
+		in.Imm = int32(sym.Addr) + f.Addend
+	}
+
+	// Final encodability check: every instruction must round-trip the
+	// 48-bit encoding (this is what "assembling" the image means).
+	for i, in := range p.Instrs {
+		if err := in.Validate(); err != nil {
+			return nil, linkErr(obj.Name, "instruction %d: %v", i, err)
+		}
+		if int(in.Target) >= len(p.Instrs) && in.CanBranch() {
+			return nil, linkErr(obj.Name, "instruction %d branches to %d, beyond program end %d",
+				i, in.Target, len(p.Instrs))
+		}
+	}
+	return p, nil
+}
+
+// IRAMImage encodes the instruction stream into its binary IRAM image.
+func (p *Program) IRAMImage() ([]byte, error) {
+	return isa.EncodeStream(p.Instrs)
+}
+
+// StaticSegments returns the initialized-data segments in address order,
+// ready to be copied into the static region at load time.
+func (p *Program) StaticSegments() []Symbol {
+	segs := make([]Symbol, 0, len(p.Symbols))
+	for _, s := range p.Symbols {
+		if len(s.Init) > 0 {
+			segs = append(segs, s)
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].Addr < segs[j].Addr })
+	return segs
+}
+
+// SymbolAddr returns a linked symbol's address.
+func (p *Program) SymbolAddr(name string) (uint32, error) {
+	s, ok := p.Symbols[name]
+	if !ok {
+		return 0, linkErr(p.Name, "undefined symbol %q", name)
+	}
+	return s.Addr, nil
+}

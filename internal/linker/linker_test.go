@@ -1,0 +1,178 @@
+package linker
+
+import (
+	"strings"
+	"testing"
+
+	"upim/internal/config"
+	"upim/internal/isa"
+	"upim/internal/mem"
+)
+
+func minimalObject() *Object {
+	return &Object{
+		Name: "t",
+		Instrs: []isa.Instruction{
+			{Op: isa.OpMOVI, Rd: 0, Imm: 0},
+			{Op: isa.OpSTOP},
+		},
+		Statics: []Symbol{
+			{Name: "buf", Size: 256, Align: 8},
+			{Name: "tbl", Size: 12, Align: 4, Init: []byte{1, 2, 3, 4}},
+		},
+		Fixups: []Fixup{{Index: 0, Symbol: "tbl", Addend: 4}},
+	}
+}
+
+func TestLinkScratchpadLayout(t *testing.T) {
+	cfg := config.Default()
+	p, err := Link(minimalObject(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := p.SymbolAddr("buf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buf != mem.WRAMBase+StaticBase {
+		t.Fatalf("buf at 0x%x, want 0x%x", buf, mem.WRAMBase+StaticBase)
+	}
+	tbl, _ := p.SymbolAddr("tbl")
+	if tbl != buf+256 {
+		t.Fatalf("tbl at 0x%x, want 0x%x", tbl, buf+256)
+	}
+	if p.StaticSpace != mem.SpaceWRAM {
+		t.Fatalf("static space = %v", p.StaticSpace)
+	}
+	// The fixup patched the movi with tbl+4.
+	if got := p.Instrs[0].Imm; got != int32(tbl)+4 {
+		t.Fatalf("fixup imm = %d, want %d", got, int32(tbl)+4)
+	}
+}
+
+func TestLinkCacheModeRemapsStatics(t *testing.T) {
+	cfg := config.Default()
+	cfg.Mode = config.ModeCache
+	p, err := Link(minimalObject(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, _ := p.SymbolAddr("buf")
+	want := mem.MRAMBase + uint32(CacheStaticMRAMOffset)
+	if buf != want {
+		t.Fatalf("cache-mode buf at 0x%x, want 0x%x", buf, want)
+	}
+	if p.StaticSpace != mem.SpaceMRAM {
+		t.Fatalf("static space = %v", p.StaticSpace)
+	}
+}
+
+func TestLinkEnforcesWRAMCapacity(t *testing.T) {
+	cfg := config.Default()
+	obj := minimalObject()
+	obj.Statics = append(obj.Statics, Symbol{Name: "huge", Size: 64 << 10, Align: 8})
+	_, err := Link(obj, cfg)
+	if err == nil || !strings.Contains(err.Error(), "WRAM overflow") {
+		t.Fatalf("want WRAM overflow error, got %v", err)
+	}
+	// The same object links fine in cache mode — the paper's remapping trick.
+	cfg.Mode = config.ModeCache
+	if _, err := Link(obj, cfg); err != nil {
+		t.Fatalf("cache-mode link failed: %v", err)
+	}
+}
+
+func TestLinkEnforcesIRAMCapacity(t *testing.T) {
+	cfg := config.Default()
+	obj := &Object{Name: "big"}
+	for i := 0; i < cfg.IRAMCapacity()+1; i++ {
+		obj.Instrs = append(obj.Instrs, isa.Instruction{Op: isa.OpNOP})
+	}
+	if _, err := Link(obj, cfg); err == nil {
+		t.Fatal("IRAM overflow must fail to link")
+	}
+}
+
+func TestLinkErrors(t *testing.T) {
+	cfg := config.Default()
+	cases := []struct {
+		name   string
+		mutate func(*Object)
+	}{
+		{"empty", func(o *Object) { o.Instrs = nil }},
+		{"dup symbol", func(o *Object) { o.Statics = append(o.Statics, Symbol{Name: "buf", Size: 8}) }},
+		{"zero size", func(o *Object) { o.Statics[0].Size = 0 }},
+		{"oversized init", func(o *Object) { o.Statics[1].Init = make([]byte, 99) }},
+		{"undefined fixup", func(o *Object) { o.Fixups[0].Symbol = "nope" }},
+		{"fixup range", func(o *Object) { o.Fixups[0].Index = 99 }},
+		{"fixup non-movi", func(o *Object) { o.Fixups[0].Index = 1 }},
+		{"branch beyond end", func(o *Object) {
+			o.Instrs = append(o.Instrs, isa.Instruction{Op: isa.OpJUMP, Target: 100})
+		}},
+	}
+	for _, c := range cases {
+		obj := minimalObject()
+		c.mutate(obj)
+		if _, err := Link(obj, cfg); err == nil {
+			t.Errorf("%s: link succeeded, want error", c.name)
+		}
+	}
+}
+
+func TestIRAMImageRoundTrip(t *testing.T) {
+	p, err := Link(minimalObject(), config.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := p.IRAMImage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := isa.DecodeStream(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(p.Instrs) {
+		t.Fatalf("decoded %d instrs, want %d", len(back), len(p.Instrs))
+	}
+	for i := range back {
+		if back[i] != p.Instrs[i] {
+			t.Fatalf("instr %d mismatch", i)
+		}
+	}
+}
+
+func TestStaticSegmentsSorted(t *testing.T) {
+	obj := minimalObject()
+	obj.Statics = append(obj.Statics, Symbol{Name: "z", Size: 4, Align: 4, Init: []byte{9}})
+	p, err := Link(obj, config.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	segs := p.StaticSegments()
+	if len(segs) != 2 {
+		t.Fatalf("segments = %d, want 2 (only initialized symbols)", len(segs))
+	}
+	if segs[0].Addr >= segs[1].Addr {
+		t.Fatal("segments not address-sorted")
+	}
+}
+
+func TestAlignment(t *testing.T) {
+	obj := &Object{
+		Name:   "a",
+		Instrs: []isa.Instruction{{Op: isa.OpSTOP}},
+		Statics: []Symbol{
+			{Name: "a1", Size: 3, Align: 1},
+			{Name: "a2", Size: 8, Align: 64},
+		},
+	}
+	p, err := Link(obj, config.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, _ := p.SymbolAddr("a2")
+	if a2%64 != 0 {
+		t.Fatalf("a2 at 0x%x not 64-byte aligned", a2)
+	}
+}

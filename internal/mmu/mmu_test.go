@@ -1,0 +1,174 @@
+package mmu
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"upim/internal/config"
+	"upim/internal/stats"
+)
+
+type fakeWalker struct {
+	latency Tick
+	walks   int
+}
+
+func (w *fakeWalker) WalkPTE(vpage uint32, now Tick) Tick {
+	w.walks++
+	return now + w.latency
+}
+
+func newMMU(t *testing.T, mutate func(*config.MMUConfig)) (*MMU, *fakeWalker, *stats.MMU) {
+	t.Helper()
+	cfg := config.Default().MMU
+	cfg.Enable = true
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	w := &fakeWalker{latency: 500}
+	st := &stats.MMU{}
+	return New(cfg, w, st), w, st
+}
+
+func TestHitAfterWalk(t *testing.T) {
+	m, w, st := newMMU(t, nil)
+	m.Map(3, 7)
+	pb := uint32(m.PageBytes())
+	// First access: TLB miss -> walk.
+	pa, ready, err := m.Translate(3*pb+100, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pa != 7*pb+100 || ready != 510 {
+		t.Fatalf("walk: pa=0x%x ready=%d", pa, ready)
+	}
+	// Second access to the same page: TLB hit, no latency.
+	pa, ready, err = m.Translate(3*pb+200, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pa != 7*pb+200 || ready != 600 {
+		t.Fatalf("hit: pa=0x%x ready=%d", pa, ready)
+	}
+	if st.TLBHits != 1 || st.TLBMisses != 1 || w.walks != 1 {
+		t.Fatalf("stats = %+v walks=%d", st, w.walks)
+	}
+}
+
+func TestUnmappedFaultsUnderPrefault(t *testing.T) {
+	m, _, st := newMMU(t, nil) // Prefault=true: unmapped access is a bug
+	if _, _, err := m.Translate(12345, 0); err == nil {
+		t.Fatal("unmapped access must error under prefault policy")
+	}
+	if st.PageFaults != 1 {
+		t.Fatalf("faults = %d", st.PageFaults)
+	}
+}
+
+func TestDemandPagingPaysHostLatency(t *testing.T) {
+	m, _, st := newMMU(t, func(c *config.MMUConfig) {
+		c.Prefault = false
+		c.FaultHandlerNs = 1000
+	})
+	_, ready, err := m.Translate(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// walk (500) + 1000ns of host handling at 134.4 ticks/ns
+	wantMin := Tick(500 + 1000*134)
+	if ready < wantMin {
+		t.Fatalf("fault ready = %d, want >= %d", ready, wantMin)
+	}
+	if st.PageFaults != 1 {
+		t.Fatalf("faults = %d", st.PageFaults)
+	}
+	// Second access: now mapped and cached.
+	_, ready2, err := m.Translate(4, 1e9)
+	if err != nil || ready2 != 1e9 {
+		t.Fatalf("post-fault access: ready=%d err=%v", ready2, err)
+	}
+}
+
+func TestTLBCapacityAndLRU(t *testing.T) {
+	m, w, _ := newMMU(t, func(c *config.MMUConfig) { c.TLBSize = 4 })
+	pb := uint32(m.PageBytes())
+	for p := uint32(0); p < 5; p++ {
+		m.Map(p, p)
+	}
+	now := Tick(0)
+	touch := func(p uint32) {
+		_, ready, err := m.Translate(p*pb, now)
+		if err != nil {
+			t.Fatal(err)
+		}
+		now = ready + 1
+	}
+	touch(0)
+	touch(1)
+	touch(2)
+	touch(3) // TLB full: {0,1,2,3}
+	walks := w.walks
+	touch(0) // refresh 0 -> LRU victim is now 1
+	if w.walks != walks {
+		t.Fatal("expected TLB hit on page 0")
+	}
+	touch(4) // evicts 1
+	walks = w.walks
+	touch(0)
+	touch(2)
+	touch(3)
+	touch(4)
+	if w.walks != walks {
+		t.Fatalf("resident pages walked again (%d extra)", w.walks-walks)
+	}
+	touch(1) // must walk
+	if w.walks != walks+1 {
+		t.Fatal("evicted page must re-walk")
+	}
+}
+
+func TestMapRange(t *testing.T) {
+	m, _, _ := newMMU(t, nil)
+	pb := m.PageBytes()
+	m.MapRange(uint32(pb)-1, 2) // straddles pages 0 and 1
+	if !m.Mapped(0) || !m.Mapped(1) || m.Mapped(2) {
+		t.Fatal("MapRange straddle wrong")
+	}
+	m.MapRange(0, 0) // no-op
+}
+
+// Property: translation is always consistent with the installed page table,
+// regardless of TLB state.
+func TestQuickTranslationConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m, _, _ := newMMU(t, func(c *config.MMUConfig) { c.TLBSize = 4 })
+		pb := uint32(m.PageBytes())
+		table := map[uint32]uint32{}
+		for p := uint32(0); p < 64; p++ {
+			pp := uint32(r.Intn(1024))
+			table[p] = pp
+			m.Map(p, pp)
+		}
+		now := Tick(0)
+		for i := 0; i < 300; i++ {
+			va := uint32(r.Intn(64))*pb + uint32(r.Intn(int(pb)))
+			pa, ready, err := m.Translate(va, now)
+			if err != nil {
+				return false
+			}
+			if pa != table[va/pb]*pb+va%pb {
+				return false
+			}
+			if ready < now {
+				return false
+			}
+			now = ready
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,457 @@
+package prim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"upim/internal/config"
+	"upim/internal/host"
+	"upim/internal/kbuild"
+	"upim/internal/linker"
+)
+
+// BFS: level-synchronous breadth-first search over a CSR graph. Vertices
+// are partitioned across DPUs; each level is a kernel launch. The host
+// merges the per-DPU next-frontier bitmaps and re-broadcasts frontier +
+// visited bitmaps every level, so communication grows with the DPU count —
+// the paper's textbook sub-linear scaler (Fig 10).
+//
+// The scratchpad kernel works the way PrIM's does on real hardware: the
+// frontier is staged in chunks, but adjacency lists, visited-bits and
+// next-bits all live in MRAM and are touched through small DMAs, which is
+// why BFS is the one workload whose instruction mix has more DMA than
+// WRAM load/store instructions (Fig 9).
+
+func init() {
+	register(&Benchmark{
+		Name:  "BFS",
+		About: "breadth-first search (2K vertices, 15K edges in Table II)",
+		Params: func(s Scale) Params {
+			switch s {
+			case ScaleTiny:
+				return Params{N: 1024, NNZPerRow: 6, Seed: 16}
+			case ScaleSmall:
+				return Params{N: 2048, NNZPerRow: 7, Seed: 16}
+			default:
+				return Params{N: 16 << 10, NNZPerRow: 7, Seed: 16}
+			}
+		},
+		Build:       buildBFS,
+		Run:         runBFS,
+		MaxTasklets: 16,
+	})
+}
+
+func buildBFS(mode config.Mode) (*linker.Object, error) {
+	b := kbuild.New("bfs-" + mode.String())
+	// args: 0=rowptr(local) 1=colidx(local) 2=frontier 3=visited 4=next
+	//       5=vLo 6=vHi  (bitmaps are full-size; vertex range is owned)
+	rRP, rCI, rFr, rVis, rNx := kbuild.R(0), kbuild.R(1), kbuild.R(2), kbuild.R(3), kbuild.R(4)
+	rVLo, rVHi := kbuild.R(5), kbuild.R(6)
+	lock := b.AllocLock()
+	b.LoadArg(rRP, 0)
+	b.LoadArg(rCI, 1)
+	b.LoadArg(rFr, 2)
+	b.LoadArg(rVis, 3)
+	b.LoadArg(rNx, 4)
+	b.LoadArg(rVLo, 5)
+	b.LoadArg(rVHi, 6)
+
+	rS, rE, rTmp := kbuild.R(7), kbuild.R(8), kbuild.R(9)
+	b.Sub(rTmp, rVHi, rVLo)
+	b.TaskletRangeAligned(rS, rE, rTmp, kbuild.R(10), 64)
+
+	switch mode {
+	case config.ModeScratchpad:
+		fbuf := b.Static("fbuf", 16*256, 8) // 64 frontier words per chunk
+		wbuf := b.Static("wbuf", 16*16, 8)  // aligned RMW staging
+		rCur, rWords, pF := kbuild.R(10), kbuild.R(11), kbuild.R(12)
+		rFw, rBit, rV := kbuild.R(13), kbuild.R(14), kbuild.R(15)
+		pFW, rWIdx, pWB := kbuild.R(16), kbuild.R(17), kbuild.R(18)
+
+		b.MoviSym(pWB, wbuf, 0)
+		b.Lsli(rTmp, kbuild.ID, 4)
+		b.Add(pWB, pWB, rTmp)
+		b.Mov(rCur, rS) // local vertex cursor (multiple of 64)
+
+		b.Label("chunk")
+		b.Jge(rCur, rE, "fin")
+		// words this chunk: ceil(min(2048, e-cur)/32) rounded to even.
+		b.Sub(rWords, rE, rCur)
+		b.Jlti(rWords, 2048, "wsized")
+		b.Movi(rWords, 2048)
+		b.Label("wsized")
+		b.Addi(rWords, rWords, 31)
+		b.Lsri(rWords, rWords, 5)
+		b.Addi(rWords, rWords, 1)
+		b.Andi(rWords, rWords, -2)
+		// Stage frontier words for [vLo+cur, ...).
+		b.MoviSym(pF, fbuf, 0)
+		b.Muli(rTmp, kbuild.ID, 256)
+		b.Add(pF, pF, rTmp)
+		b.Add(rTmp, rVLo, rCur)
+		b.Lsri(rTmp, rTmp, 5)
+		b.Lsli(rTmp, rTmp, 2)
+		b.Add(rTmp, rFr, rTmp)
+		b.Lsli(rV, rWords, 2)
+		b.Ldma(pF, rTmp, rV)
+		// Scan the staged words.
+		b.Movi(rWIdx, 0)
+		b.Mov(pFW, pF)
+		b.Label("words")
+		b.Jge(rWIdx, rWords, "chunk_next")
+		b.Lw(rFw, pFW, 0)
+		b.Movi(rBit, 0)
+		b.Label("bits")
+		b.Jeqi(rFw, 0, "word_next")
+		b.AndiBr(rTmp, rFw, 1, kbuild.CondZ, "bit_next")
+		// v = cur + wIdx*32 + bit (local index); bail beyond my range.
+		b.Lsli(rV, rWIdx, 5)
+		b.Add(rV, rV, rCur)
+		b.Add(rV, rV, rBit)
+		b.Jge(rV, rE, "word_next")
+		b.Call("visit")
+		b.Label("bit_next")
+		b.Lsri(rFw, rFw, 1)
+		b.Addi(rBit, rBit, 1)
+		b.Jump("bits")
+		b.Label("word_next")
+		b.Addi(rWIdx, rWIdx, 1)
+		b.Addi(pFW, pFW, 4)
+		b.Jump("words")
+		b.Label("chunk_next")
+		b.Movi(rTmp, 2048)
+		b.Add(rCur, rCur, rTmp)
+		b.Jump("chunk")
+		b.Label("fin")
+		b.Stop()
+
+		// visit(v in rV): expand the local vertex's adjacency. Clobbers
+		// r19..r22 and rTmp; preserves the scan state.
+		rK, rKE, rU, rT2 := kbuild.R(19), kbuild.R(20), kbuild.R(21), kbuild.R(22)
+		b.Label("visit")
+		// rowptr[v], rowptr[v+1] via an aligned 16B stage into wbuf.
+		b.Andi(rTmp, rV, -2)
+		b.Lsli(rTmp, rTmp, 2)
+		b.Add(rTmp, rRP, rTmp)
+		b.Ldmai(pWB, rTmp, 16)
+		b.Andi(rTmp, rV, 1)
+		b.Lsli(rTmp, rTmp, 2)
+		b.Add(rTmp, pWB, rTmp)
+		b.Lw(rK, rTmp, 0)
+		b.Lw(rKE, rTmp, 4)
+		b.Label("edges")
+		b.Jge(rK, rKE, "visit_done")
+		// u = colidx[k] via an aligned 8B stage.
+		b.Andi(rTmp, rK, -2)
+		b.Lsli(rTmp, rTmp, 2)
+		b.Add(rTmp, rCI, rTmp)
+		b.Ldmai(pWB, rTmp, 8)
+		b.Andi(rTmp, rK, 1)
+		b.Lsli(rTmp, rTmp, 2)
+		b.Add(rTmp, pWB, rTmp)
+		b.Lw(rU, rTmp, 0)
+		// visited probe: 8B DMA of the word holding bit u.
+		b.Lsri(rTmp, rU, 6)
+		b.Lsli(rTmp, rTmp, 3)
+		b.Add(rTmp, rVis, rTmp)
+		b.Ldmai(pWB, rTmp, 8)
+		b.Lsri(rTmp, rU, 5)
+		b.Andi(rTmp, rTmp, 1)
+		b.Lsli(rTmp, rTmp, 2)
+		b.Add(rTmp, pWB, rTmp)
+		b.Lw(rT2, rTmp, 0)
+		b.Andi(rTmp, rU, 31)
+		b.Lsr(rT2, rT2, rTmp)
+		b.AndiBr(rT2, rT2, 1, kbuild.CondNZ, "edge_next") // already visited
+		// New vertex: set its bit in `next` under the mutex (8B RMW).
+		// Precompute outside the critical section, consuming rU: rT2 = bit
+		// mask, rV is dead here and holds the in-block word offset, rU
+		// becomes the MRAM address of the 8B block.
+		b.Andi(rTmp, rU, 31)
+		b.Movi(rT2, 1)
+		b.Lsl(rT2, rT2, rTmp)
+		b.Lsri(rTmp, rU, 5)
+		b.Andi(rTmp, rTmp, 1)
+		b.Lsli(rV, rTmp, 2)
+		b.Lsri(rTmp, rU, 6)
+		b.Lsli(rTmp, rTmp, 3)
+		b.Add(rU, rNx, rTmp)
+		b.AcquireSpin(lock)
+		b.Ldmai(pWB, rU, 8)
+		b.Add(rV, pWB, rV)
+		b.Lw(rTmp, rV, 0)
+		b.Or(rTmp, rTmp, rT2)
+		b.Sw(rTmp, rV, 0)
+		b.Sdmai(pWB, rU, 8)
+		b.Release(lock)
+		b.Label("edge_next")
+		b.Addi(rK, rK, 1)
+		b.Jump("edges")
+		b.Label("visit_done")
+		b.Ret()
+
+	case config.ModeCache:
+		rCur, rFw, rBit, rV := kbuild.R(10), kbuild.R(11), kbuild.R(12), kbuild.R(13)
+		rK, rKE, rU, rT2 := kbuild.R(14), kbuild.R(15), kbuild.R(16), kbuild.R(17)
+		b.Mov(rCur, rS)
+		b.Label("scan")
+		b.Jge(rCur, rE, "fin")
+		// Load the frontier word for vertex vLo+cur directly.
+		b.Add(rTmp, rVLo, rCur)
+		b.Lsri(rTmp, rTmp, 5)
+		b.Lsli(rTmp, rTmp, 2)
+		b.Add(rTmp, rFr, rTmp)
+		b.Lw(rFw, rTmp, 0)
+		b.Movi(rBit, 0)
+		b.Label("bits")
+		b.Jeqi(rFw, 0, "word_done")
+		b.AndiBr(rTmp, rFw, 1, kbuild.CondZ, "bit_next")
+		b.Add(rV, rCur, rBit)
+		b.Jge(rV, rE, "word_done")
+		b.Call("visit")
+		b.Label("bit_next")
+		b.Lsri(rFw, rFw, 1)
+		b.Addi(rBit, rBit, 1)
+		b.Jump("bits")
+		b.Label("word_done")
+		b.Addi(rCur, rCur, 32)
+		b.Jump("scan")
+		b.Label("fin")
+		b.Stop()
+
+		b.Label("visit")
+		b.Lsli(rTmp, rV, 2)
+		b.Add(rTmp, rRP, rTmp)
+		b.Lw(rK, rTmp, 0)
+		b.Lw(rKE, rTmp, 4)
+		b.Label("edges")
+		b.Jge(rK, rKE, "visit_done")
+		b.Lsli(rTmp, rK, 2)
+		b.Add(rTmp, rCI, rTmp)
+		b.Lw(rU, rTmp, 0)
+		// visited test
+		b.Lsri(rTmp, rU, 5)
+		b.Lsli(rTmp, rTmp, 2)
+		b.Add(rTmp, rVis, rTmp)
+		b.Lw(rT2, rTmp, 0)
+		b.Andi(rTmp, rU, 31)
+		b.Lsr(rT2, rT2, rTmp)
+		b.AndiBr(rT2, rT2, 1, kbuild.CondNZ, "edge_next")
+		// set next bit under the mutex
+		b.AcquireSpin(lock)
+		b.Lsri(rTmp, rU, 5)
+		b.Lsli(rTmp, rTmp, 2)
+		b.Add(rT2, rNx, rTmp)
+		b.Lw(rTmp, rT2, 0)
+		b.Movi(kbuild.R(18), 1)
+		b.Andi(kbuild.R(19), rU, 31)
+		b.Lsl(kbuild.R(18), kbuild.R(18), kbuild.R(19))
+		b.Or(rTmp, rTmp, kbuild.R(18))
+		b.Sw(rTmp, rT2, 0)
+		b.Release(lock)
+		b.Label("edge_next")
+		b.Addi(rK, rK, 1)
+		b.Jump("edges")
+		b.Label("visit_done")
+		b.Ret()
+
+	default:
+		return nil, fmt.Errorf("bfs: unsupported mode %v", mode)
+	}
+	return b.Build()
+}
+
+func runBFS(sys *host.System, p Params) error {
+	n := p.N
+	if n%64 != 0 {
+		return fmt.Errorf("bfs: n must be a multiple of 64")
+	}
+	g := genGraph(n, p.NNZPerRow, p.Seed)
+	want := goldenBFS(g, n)
+
+	D := sys.NumDPUs()
+	parts := ranges(n, D, 64)
+	bmWords := n / 32 // u32 words per bitmap
+	bmBytes := 4 * bmWords
+
+	type lay struct{ rpOff, ciOff, frOff, visOff, nxOff uint32 }
+	lays := make([]lay, D)
+	for d, pr := range parts {
+		rows := pr[1] - pr[0]
+		base, limit := g.rowptr[pr[0]], g.rowptr[pr[1]]
+		rp := make([]int32, rows+2)
+		for i := 0; i <= rows; i++ {
+			rp[i] = g.rowptr[pr[0]+i] - base
+		}
+		var l lay
+		l.rpOff = 0
+		l.ciOff = align8(uint32(4 * (rows + 2)))
+		l.frOff = align8(l.ciOff + uint32(4*max(int(limit-base), 1)))
+		l.visOff = align8(l.frOff + uint32(bmBytes))
+		l.nxOff = align8(l.visOff + uint32(bmBytes))
+		lays[d] = l
+		if err := sys.CopyToMRAM(d, l.rpOff, i32sToBytes(rp)); err != nil {
+			return err
+		}
+		if limit > base {
+			if err := sys.CopyToMRAM(d, l.ciOff, i32sToBytes(g.colidx[base:limit])); err != nil {
+				return err
+			}
+		}
+	}
+
+	frontier := make([]uint32, bmWords)
+	visited := make([]uint32, bmWords)
+	setBit := func(bm []uint32, v int) { bm[v/32] |= 1 << (v % 32) }
+	setBit(frontier, 0)
+	setBit(visited, 0)
+	dist := make([]int32, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[0] = 0
+
+	zero := make([]byte, bmBytes)
+	for level := int32(1); ; level++ {
+		empty := true
+		for _, w := range frontier {
+			if w != 0 {
+				empty = false
+				break
+			}
+		}
+		if empty {
+			break
+		}
+		if level > int32(n) {
+			return fmt.Errorf("bfs: runaway level loop")
+		}
+		if level > 1 {
+			sys.SetPhase(host.PhaseExchange)
+		}
+		for d, pr := range parts {
+			l := lays[d]
+			if err := sys.CopyToMRAM(d, l.frOff, u32sToBytes(frontier)); err != nil {
+				return err
+			}
+			if err := sys.CopyToMRAM(d, l.visOff, u32sToBytes(visited)); err != nil {
+				return err
+			}
+			if err := sys.CopyToMRAM(d, l.nxOff, zero); err != nil {
+				return err
+			}
+			if err := sys.WriteArgs(d,
+				host.MRAMBaseAddr(l.rpOff), host.MRAMBaseAddr(l.ciOff),
+				host.MRAMBaseAddr(l.frOff), host.MRAMBaseAddr(l.visOff),
+				host.MRAMBaseAddr(l.nxOff), uint32(pr[0]), uint32(pr[1])); err != nil {
+				return err
+			}
+		}
+		if err := sys.Launch(); err != nil {
+			return err
+		}
+		sys.SetPhase(host.PhaseExchange)
+		next := make([]uint32, bmWords)
+		for d := range parts {
+			raw, err := sys.ReadMRAM(d, lays[d].nxOff, bmBytes)
+			if err != nil {
+				return err
+			}
+			for i, w := range bytesToU32s(raw) {
+				next[i] |= w
+			}
+		}
+		// newFrontier = next &^ visited
+		for i := range next {
+			next[i] &^= visited[i]
+			visited[i] |= next[i]
+		}
+		for v := 0; v < n; v++ {
+			if next[v/32]&(1<<(v%32)) != 0 {
+				dist[v] = level
+			}
+		}
+		frontier = next
+	}
+	return checkI32s("BFS distances", dist, want)
+}
+
+// graph is a host-side CSR adjacency structure.
+type graph struct {
+	rowptr []int32
+	colidx []int32
+}
+
+// genGraph builds a connected sparse graph: a ring plus random edges, with
+// both directions materialized and rows sorted.
+func genGraph(n, extra int, seed int64) *graph {
+	r := rand.New(rand.NewSource(seed))
+	adj := make([][]int32, n)
+	addEdge := func(a, b int32) {
+		adj[a] = append(adj[a], b)
+		adj[b] = append(adj[b], a)
+	}
+	for v := 0; v < n; v++ {
+		addEdge(int32(v), int32((v+1)%n))
+	}
+	for i := 0; i < n*extra/2; i++ {
+		a, b := r.Int31n(int32(n)), r.Int31n(int32(n))
+		if a != b {
+			addEdge(a, b)
+		}
+	}
+	g := &graph{rowptr: make([]int32, n+1)}
+	for v := 0; v < n; v++ {
+		row := adj[v]
+		for i := 1; i < len(row); i++ {
+			for j := i; j > 0 && row[j] < row[j-1]; j-- {
+				row[j], row[j-1] = row[j-1], row[j]
+			}
+		}
+		g.colidx = append(g.colidx, row...)
+		g.rowptr[v+1] = int32(len(g.colidx))
+	}
+	return g
+}
+
+func goldenBFS(g *graph, n int) []int32 {
+	dist := make([]int32, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[0] = 0
+	queue := []int32{0}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for k := g.rowptr[v]; k < g.rowptr[v+1]; k++ {
+			u := g.colidx[k]
+			if dist[u] < 0 {
+				dist[u] = dist[v] + 1
+				queue = append(queue, u)
+			}
+		}
+	}
+	return dist
+}
+
+func u32sToBytes(v []uint32) []byte {
+	out := make([]byte, 4*len(v))
+	for i, x := range v {
+		out[4*i] = byte(x)
+		out[4*i+1] = byte(x >> 8)
+		out[4*i+2] = byte(x >> 16)
+		out[4*i+3] = byte(x >> 24)
+	}
+	return out
+}
+
+func bytesToU32s(raw []byte) []uint32 {
+	out := make([]uint32, len(raw)/4)
+	for i := range out {
+		out[i] = uint32(raw[4*i]) | uint32(raw[4*i+1])<<8 |
+			uint32(raw[4*i+2])<<16 | uint32(raw[4*i+3])<<24
+	}
+	return out
+}

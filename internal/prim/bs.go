@@ -1,0 +1,221 @@
+package prim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"upim/internal/config"
+	"upim/internal/host"
+	"upim/internal/kbuild"
+	"upim/internal/linker"
+)
+
+// BS: batched lower-bound binary search over a sorted MRAM array. The
+// scratchpad variant stages a fixed 256B block per probe — the static
+// overfetch the paper's Fig 16 blames for BS's 5.1x extra DRAM traffic vs
+// an on-demand cache, which fetches only the 64B line each probe touches.
+// BS is the suite's memory-bound, low-TLP workload (Fig 5/6/7).
+
+const bsProbeBytes = 256
+
+func init() {
+	register(&Benchmark{
+		Name:  "BS",
+		About: "binary search (32K elem., 4K queries single-DPU in Table II)",
+		Params: func(s Scale) Params {
+			switch s {
+			case ScaleTiny:
+				return Params{N: 4 << 10, Queries: 512, Seed: 11}
+			case ScaleSmall:
+				return Params{N: 32 << 10, Queries: 2 << 10, Seed: 11}
+			default:
+				return Params{N: 32 << 10, Queries: 4 << 10, Seed: 11}
+			}
+		},
+		Build: buildBS,
+		Run:   runBS,
+	})
+}
+
+func buildBS(mode config.Mode) (*linker.Object, error) {
+	b := kbuild.New("bs-" + mode.String())
+	rA, rN, rQ, rNQ, rOut := kbuild.R(0), kbuild.R(1), kbuild.R(2), kbuild.R(3), kbuild.R(4)
+	rQS, rQE, rTmp := kbuild.R(5), kbuild.R(6), kbuild.R(7)
+	b.LoadArg(rA, 0)
+	b.LoadArg(rN, 1)
+	b.LoadArg(rQ, 2)
+	b.LoadArg(rNQ, 3)
+	b.LoadArg(rOut, 4)
+	b.TaskletRangeAligned(rQS, rQE, rNQ, rTmp, 2)
+
+	rLo, rHi, rMid, rVal, rQv := kbuild.R(8), kbuild.R(9), kbuild.R(10), kbuild.R(11), kbuild.R(12)
+
+	switch mode {
+	case config.ModeScratchpad:
+		qbuf := b.Static("qbuf", 16*64*4, 8) // 64 queries per staging chunk
+		pbuf := b.Static("pbuf", 16*bsProbeBytes, 8)
+		obuf := b.Static("obuf", 16*64*4, 8)
+		pQ, pP, pO := kbuild.R(13), kbuild.R(14), kbuild.R(15)
+		rChunk, rQi, rBytes, rBlk := kbuild.R(16), kbuild.R(17), kbuild.R(18), kbuild.R(19)
+		rCurBlk := kbuild.R(20)
+		b.MoviSym(pQ, qbuf, 0)
+		b.Muli(rTmp, kbuild.ID, 64*4)
+		b.Add(pQ, pQ, rTmp)
+		b.MoviSym(pP, pbuf, 0)
+		b.Muli(rTmp, kbuild.ID, bsProbeBytes)
+		b.Add(pP, pP, rTmp)
+		b.MoviSym(pO, obuf, 0)
+		b.Muli(rTmp, kbuild.ID, 64*4)
+		b.Add(pO, pO, rTmp)
+
+		b.Label("chunk")
+		b.Jge(rQS, rQE, "done")
+		b.Sub(rChunk, rQE, rQS)
+		b.Jlti(rChunk, 64, "sized")
+		b.Movi(rChunk, 64)
+		b.Label("sized")
+		b.Lsli(rBytes, rChunk, 2)
+		b.Lsli(rTmp, rQS, 2)
+		b.Add(rTmp, rQ, rTmp)
+		b.Ldma(pQ, rTmp, rBytes)
+		b.Movi(rQi, 0)
+		b.Label("query")
+		b.Lsli(rTmp, rQi, 2)
+		b.Add(rTmp, pQ, rTmp)
+		b.Lw(rQv, rTmp, 0)
+		// Lower bound over [0, n).
+		b.Movi(rLo, 0)
+		b.Mov(rHi, rN)
+		b.Movi(rCurBlk, -1) // no block staged yet
+		b.Label("probe")
+		b.Jge(rLo, rHi, "found")
+		b.Add(rMid, rLo, rHi)
+		b.Lsri(rMid, rMid, 1)
+		// Stage the fixed 256B block containing a[mid] (static overfetch),
+		// unless the previous probe already staged it — once the search
+		// range narrows into one block, the remaining probes run from WRAM
+		// (PrIM's BS does the same block-local finish).
+		b.Lsli(rBlk, rMid, 2)
+		b.Andi(rBlk, rBlk, -bsProbeBytes)
+		b.Jeq(rBlk, rCurBlk, "staged")
+		b.Add(rTmp, rA, rBlk)
+		b.Ldmai(pP, rTmp, bsProbeBytes)
+		b.Mov(rCurBlk, rBlk)
+		b.Label("staged")
+		b.Lsli(rTmp, rMid, 2)
+		b.Sub(rTmp, rTmp, rBlk)
+		b.Add(rTmp, pP, rTmp)
+		b.Lw(rVal, rTmp, 0)
+		b.Jge(rVal, rQv, "goleft")
+		b.Addi(rLo, rMid, 1)
+		b.Jump("probe")
+		b.Label("goleft")
+		b.Mov(rHi, rMid)
+		b.Jump("probe")
+		b.Label("found")
+		b.Lsli(rTmp, rQi, 2)
+		b.Add(rTmp, pO, rTmp)
+		b.Sw(rLo, rTmp, 0)
+		b.Addi(rQi, rQi, 1)
+		b.Jlt(rQi, rChunk, "query")
+		// Flush results for this chunk.
+		b.Lsli(rTmp, rQS, 2)
+		b.Add(rTmp, rOut, rTmp)
+		b.Sdma(pO, rTmp, rBytes)
+		b.Add(rQS, rQS, rChunk)
+		b.Jump("chunk")
+		b.Label("done")
+		b.Stop()
+
+	case config.ModeCache:
+		pQ, pO := kbuild.R(13), kbuild.R(14)
+		b.Lsli(rTmp, rQS, 2)
+		b.Add(pQ, rQ, rTmp)
+		b.Add(pO, rOut, rTmp)
+		b.Label("query")
+		b.Jge(rQS, rQE, "done")
+		b.Lw(rQv, pQ, 0)
+		b.Movi(rLo, 0)
+		b.Mov(rHi, rN)
+		b.Label("probe")
+		b.Jge(rLo, rHi, "found")
+		b.Add(rMid, rLo, rHi)
+		b.Lsri(rMid, rMid, 1)
+		b.Lsli(rTmp, rMid, 2)
+		b.Add(rTmp, rA, rTmp)
+		b.Lw(rVal, rTmp, 0) // on-demand 64B line fill
+		b.Jge(rVal, rQv, "goleft")
+		b.Addi(rLo, rMid, 1)
+		b.Jump("probe")
+		b.Label("goleft")
+		b.Mov(rHi, rMid)
+		b.Jump("probe")
+		b.Label("found")
+		b.Sw(rLo, pO, 0)
+		b.Addi(pQ, pQ, 4)
+		b.Addi(pO, pO, 4)
+		b.Addi(rQS, rQS, 1)
+		b.Jump("query")
+		b.Label("done")
+		b.Stop()
+
+	default:
+		return nil, fmt.Errorf("bs: unsupported mode %v", mode)
+	}
+	return b.Build()
+}
+
+func runBS(sys *host.System, p Params) error {
+	n, nq := p.N, p.Queries
+	// Sorted array with strictly increasing values; queries drawn from it.
+	a := make([]int32, n)
+	r := rand.New(rand.NewSource(p.Seed))
+	v := int32(0)
+	for i := range a {
+		v += 1 + r.Int31n(4)
+		a[i] = v
+	}
+	q := make([]int32, nq)
+	want := make([]int32, nq)
+	for i := range q {
+		idx := r.Intn(n)
+		q[i] = a[idx]
+		want[i] = int32(sort.Search(n, func(j int) bool { return a[j] >= q[i] }))
+	}
+
+	// The array is replicated on every DPU (CPU->DPU volume grows with DPU
+	// count — the paper's reason BS scales sub-linearly); queries partition.
+	slices := ranges(nq, sys.NumDPUs(), 2)
+	aOff := uint32(0)
+	qOff := align8(uint32(4 * n))
+	for d, sl := range slices {
+		cnt := sl[1] - sl[0]
+		outOff := align8(qOff + uint32(4*cnt))
+		if err := sys.CopyToMRAM(d, aOff, i32sToBytes(a)); err != nil {
+			return err
+		}
+		if err := sys.CopyToMRAM(d, qOff, i32sToBytes(q[sl[0]:sl[1]])); err != nil {
+			return err
+		}
+		if err := sys.WriteArgs(d, host.MRAMBaseAddr(aOff), uint32(n),
+			host.MRAMBaseAddr(qOff), uint32(cnt), host.MRAMBaseAddr(outOff)); err != nil {
+			return err
+		}
+	}
+	if err := sys.Launch(); err != nil {
+		return err
+	}
+	sys.SetPhase(host.PhaseOutput)
+	got := make([]int32, 0, nq)
+	for d, sl := range slices {
+		cnt := sl[1] - sl[0]
+		outOff := align8(qOff + uint32(4*cnt))
+		raw, err := sys.ReadMRAM(d, outOff, 4*cnt)
+		if err != nil {
+			return err
+		}
+		got = append(got, bytesToI32s(raw)...)
+	}
+	return checkI32s("BS", got, want)
+}

@@ -1,0 +1,289 @@
+package prim
+
+import (
+	"fmt"
+
+	"upim/internal/config"
+	"upim/internal/host"
+	"upim/internal/kbuild"
+	"upim/internal/linker"
+)
+
+// GEMV: dense matrix-vector multiply, the machine-learning primitive the
+// paper's SIMT case study (Fig 11) is built around. The scratchpad variant
+// stages x once (tasklet 0 + barrier) and streams rows by DMA; the SIMT
+// variant distributes a row's dot product across the lanes of a warp so
+// consecutive lanes touch consecutive addresses — the pattern the address
+// coalescer ("AC") exploits.
+
+func init() {
+	register(&Benchmark{
+		Name:  "GEMV",
+		About: "dense matrix-vector multiply (2K x 64 single-DPU in Table II)",
+		Params: func(s Scale) Params {
+			switch s {
+			case ScaleTiny:
+				return Params{M: 128, N: 64, Seed: 9}
+			case ScaleSmall:
+				return Params{M: 1024, N: 64, Seed: 9}
+			default:
+				return Params{M: 2048, N: 64, Seed: 9}
+			}
+		},
+		Build:        func(m config.Mode) (*linker.Object, error) { return buildGEMVKernel(m, "gemv", false) },
+		Run:          runGEMV,
+		SupportsSIMT: true,
+	})
+}
+
+// buildGEMVKernel lowers y = (relu? relu(A.x)>>6 : A.x) for any mode. MLP
+// reuses it with relu=true as its per-layer kernel.
+func buildGEMVKernel(mode config.Mode, name string, relu bool) (*linker.Object, error) {
+	b := kbuild.New(name + "-" + mode.String())
+	rA, rX, rY, rM, rN := kbuild.R(0), kbuild.R(1), kbuild.R(2), kbuild.R(3), kbuild.R(4)
+	b.LoadArg(rA, 0)
+	b.LoadArg(rX, 1)
+	b.LoadArg(rY, 2)
+	b.LoadArg(rM, 3)
+	b.LoadArg(rN, 4)
+
+	// applyAct optionally applies relu + >>6 quantization to acc.
+	applyAct := func(acc kbuild.Reg) {
+		if !relu {
+			return
+		}
+		pos := b.Gensym("relu")
+		b.Jgei(acc, 0, pos)
+		b.Movi(acc, 0)
+		b.Label(pos)
+		b.Asri(acc, acc, 6)
+	}
+
+	switch mode {
+	case config.ModeScratchpad:
+		// Row staging is 1KB per tasklet (supports N <= 256 columns), keeping
+		// statics + 16 tasklet stacks inside the 64KB WRAM.
+		xbuf := b.Static("xbuf", 2048, 8)
+		rowbuf := b.Static("rowbuf", 16*1024, 8)
+		ybuf := b.Static("ybuf", 16*32*4, 8)
+		bar := b.NewBarrier("bar")
+		rs, re, rTmp := kbuild.R(5), kbuild.R(6), kbuild.R(7)
+		rN4, pXbuf, pRow, pYbuf := kbuild.R(8), kbuild.R(9), kbuild.R(10), kbuild.R(11)
+		rRow, rYCnt, rFlush, acc := kbuild.R(12), kbuild.R(13), kbuild.R(14), kbuild.R(15)
+		pa, px, pend, va, vx, prod := kbuild.R(16), kbuild.R(17), kbuild.R(18), kbuild.R(19), kbuild.R(20), kbuild.R(21)
+
+		b.Lsli(rN4, rN, 2)
+		// Tasklet 0 stages x; everyone waits.
+		b.Jnei(kbuild.ID, 0, "xwait")
+		b.MoviSym(pXbuf, xbuf, 0)
+		b.Ldma(pXbuf, rX, rN4)
+		b.Label("xwait")
+		b.Wait(bar, kbuild.R(9), kbuild.R(10), kbuild.R(11))
+
+		b.MoviSym(pXbuf, xbuf, 0)
+		b.MoviSym(pRow, rowbuf, 0)
+		b.Muli(rTmp, kbuild.ID, 1024)
+		b.Add(pRow, pRow, rTmp)
+		b.MoviSym(pYbuf, ybuf, 0)
+		b.Muli(rTmp, kbuild.ID, 32*4)
+		b.Add(pYbuf, pYbuf, rTmp)
+
+		b.TaskletRangeAligned(rs, re, rM, rTmp, 2)
+		b.Mov(rRow, rs)
+		b.Mov(rFlush, rs)
+		b.Movi(rYCnt, 0)
+		b.Label("rowloop")
+		b.Jge(rRow, re, "tail")
+		b.Mul(rTmp, rRow, rN4)
+		b.Add(rTmp, rA, rTmp)
+		b.Ldma(pRow, rTmp, rN4)
+		b.Movi(acc, 0)
+		b.Mov(pa, pRow)
+		b.Mov(px, pXbuf)
+		b.Add(pend, pa, rN4)
+		b.Label("dot")
+		b.Lw(va, pa, 0)
+		b.Lw(vx, px, 0)
+		b.Mul(prod, va, vx)
+		b.Add(acc, acc, prod)
+		b.Addi(pa, pa, 4)
+		b.Addi(px, px, 4)
+		b.Jlt(pa, pend, "dot")
+		applyAct(acc)
+		b.Lsli(rTmp, rYCnt, 2)
+		b.Add(rTmp, pYbuf, rTmp)
+		b.Sw(acc, rTmp, 0)
+		b.Addi(rYCnt, rYCnt, 1)
+		b.Addi(rRow, rRow, 1)
+		b.Jlti(rYCnt, 32, "rowloop")
+		// Flush 32 accumulated y values.
+		b.Lsli(rTmp, rFlush, 2)
+		b.Add(rTmp, rY, rTmp)
+		b.Sdmai(pYbuf, rTmp, 32*4)
+		b.Mov(rFlush, rRow)
+		b.Movi(rYCnt, 0)
+		b.Jump("rowloop")
+		b.Label("tail")
+		b.Jeqi(rYCnt, 0, "done")
+		b.Lsli(va, rYCnt, 2)
+		b.Lsli(rTmp, rFlush, 2)
+		b.Add(rTmp, rY, rTmp)
+		b.Sdma(pYbuf, rTmp, va)
+		b.Label("done")
+		b.Stop()
+
+	case config.ModeCache:
+		rs, re, rTmp := kbuild.R(5), kbuild.R(6), kbuild.R(7)
+		rN4, rRow, acc := kbuild.R(8), kbuild.R(9), kbuild.R(10)
+		pa, px, pend, va, vx, prod, pw := kbuild.R(11), kbuild.R(12), kbuild.R(13), kbuild.R(14), kbuild.R(15), kbuild.R(16), kbuild.R(17)
+		b.Lsli(rN4, rN, 2)
+		b.TaskletRangeAligned(rs, re, rM, rTmp, 2)
+		b.Mov(rRow, rs)
+		b.Label("rowloop")
+		b.Jge(rRow, re, "done")
+		b.Mul(rTmp, rRow, rN4)
+		b.Add(pa, rA, rTmp)
+		b.Mov(px, rX)
+		b.Add(pend, pa, rN4)
+		b.Movi(acc, 0)
+		b.Label("dot")
+		b.Lw(va, pa, 0)
+		b.Lw(vx, px, 0)
+		b.Mul(prod, va, vx)
+		b.Add(acc, acc, prod)
+		b.Addi(pa, pa, 4)
+		b.Addi(px, px, 4)
+		b.Jlt(pa, pend, "dot")
+		applyAct(acc)
+		b.Lsli(rTmp, rRow, 2)
+		b.Add(pw, rY, rTmp)
+		b.Sw(acc, pw, 0)
+		b.Addi(rRow, rRow, 1)
+		b.Jump("rowloop")
+		b.Label("done")
+		b.Stop()
+
+	case config.ModeSIMT:
+		// Lane-parallel dot product: lane l of a warp accumulates elements
+		// l, l+W, ...; lane 0 reduces the warp's partials from WRAM and
+		// stores y[row]. A and x are read directly from MRAM (the coalescer
+		// datapath of Fig 11(a)).
+		pbuf := b.Static("pbuf", 512*4, 8)
+		rW, rNW := kbuild.R(5), kbuild.R(6)
+		rWarp, rLane, rRow, rK, acc := kbuild.R(7), kbuild.R(8), kbuild.R(9), kbuild.R(10), kbuild.R(11)
+		t, t2, va, vx := kbuild.R(12), kbuild.R(13), kbuild.R(14), kbuild.R(15)
+		b.LoadArg(rW, 5)
+		b.LoadArg(rNW, 6)
+		b.Div(rWarp, kbuild.ID, rW)
+		b.Rem(rLane, kbuild.ID, rW)
+		b.Mov(rRow, rWarp)
+		b.Label("rowloop")
+		b.Jge(rRow, rM, "fin")
+		b.Movi(acc, 0)
+		b.Mov(rK, rLane)
+		b.Label("dot")
+		b.Jge(rK, rN, "reduce")
+		b.Mul(t, rRow, rN)
+		b.Add(t, t, rK)
+		b.Lsli(t, t, 2)
+		b.Add(t, rA, t)
+		b.Lw(va, t, 0) // A[row*N+k] via the coalescer
+		b.Lsli(t2, rK, 2)
+		b.Add(t2, rX, t2)
+		b.Lw(vx, t2, 0) // x[k] via the coalescer
+		b.Mul(t, va, vx)
+		b.Add(acc, acc, t)
+		b.Add(rK, rK, rW)
+		b.Jump("dot")
+		b.Label("reduce")
+		// Lane-halving tree reduction through WRAM: every step, lanes below
+		// the offset pull their partner's partial; lockstep execution makes
+		// the store-then-load sequence race-free within the warp.
+		b.MoviSym(t, pbuf, 0)
+		b.Lsli(t2, kbuild.ID, 2)
+		b.Add(t, t, t2) // &pbuf[ID]
+		b.Lsri(rK, rW, 1)
+		b.Label("tree")
+		b.Jeqi(rK, 0, "treedone")
+		b.Sw(acc, t, 0)
+		b.Jge(rLane, rK, "treenext")
+		b.Lsli(t2, rK, 2)
+		b.Add(t2, t, t2)
+		b.Lw(va, t2, 0)
+		b.Add(acc, acc, va)
+		b.Label("treenext")
+		b.Lsri(rK, rK, 1)
+		b.Jump("tree")
+		b.Label("treedone")
+		b.Jnei(rLane, 0, "skipsum")
+		applyAct(acc)
+		b.Lsli(t, rRow, 2)
+		b.Add(t, rY, t)
+		b.Sw(acc, t, 0) // y[row] direct store
+		b.Label("skipsum")
+		b.Add(rRow, rRow, rNW)
+		b.Jump("rowloop")
+		b.Label("fin")
+		b.Stop()
+
+	default:
+		return nil, fmt.Errorf("%s: unsupported mode %v", name, mode)
+	}
+	return b.Build()
+}
+
+func runGEMV(sys *host.System, p Params) error {
+	m, n := p.M, p.N
+	a := randI32s(m*n, 64, p.Seed)
+	x := randI32s(n, 64, p.Seed+1)
+	want := make([]int32, m)
+	for r := 0; r < m; r++ {
+		var acc int32
+		for j := 0; j < n; j++ {
+			acc += a[r*n+j] * x[j]
+		}
+		want[r] = acc
+	}
+
+	slices := ranges(m, sys.NumDPUs(), 2)
+	cfg := sys.Config()
+	for d, r := range slices {
+		rows := r[1] - r[0]
+		aOff := uint32(0)
+		xOff := align8(aOff + uint32(4*rows*n))
+		yOff := align8(xOff + uint32(4*n))
+		if err := sys.CopyToMRAM(d, aOff, i32sToBytes(a[r[0]*n:r[1]*n])); err != nil {
+			return err
+		}
+		if err := sys.CopyToMRAM(d, xOff, i32sToBytes(x)); err != nil {
+			return err
+		}
+		args := []uint32{
+			host.MRAMBaseAddr(aOff), host.MRAMBaseAddr(xOff),
+			host.MRAMBaseAddr(yOff), uint32(rows), uint32(n),
+		}
+		if cfg.Mode == config.ModeSIMT {
+			w := cfg.SIMTWidth
+			args = append(args, uint32(w), uint32((cfg.NumTasklets+w-1)/w))
+		}
+		if err := sys.WriteArgs(d, args...); err != nil {
+			return err
+		}
+	}
+	if err := sys.Launch(); err != nil {
+		return err
+	}
+	sys.SetPhase(host.PhaseOutput)
+	got := make([]int32, 0, m)
+	for d, r := range slices {
+		rows := r[1] - r[0]
+		xOff := align8(uint32(4 * rows * n))
+		yOff := align8(xOff + uint32(4*n))
+		raw, err := sys.ReadMRAM(d, yOff, 4*rows)
+		if err != nil {
+			return err
+		}
+		got = append(got, bytesToI32s(raw)...)
+	}
+	return checkI32s("GEMV", got, want)
+}

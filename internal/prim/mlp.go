@@ -1,0 +1,135 @@
+package prim
+
+import (
+	"upim/internal/config"
+	"upim/internal/host"
+	"upim/internal/linker"
+)
+
+// MLP: a 3-layer perceptron with quantized integer arithmetic — each layer
+// is y = relu(W.x) >> 6, reusing the GEMV kernel with the activation
+// epilogue. Layers are separate kernel launches; activations travel through
+// the host between layers (gather + broadcast), which is what puts MLP's
+// DPU-to-DPU bars in Fig 10 even at one DPU.
+
+func init() {
+	register(&Benchmark{
+		Name:  "MLP",
+		About: "3-layer perceptron (3 layers, 256 neurons in Table II)",
+		Params: func(s Scale) Params {
+			switch s {
+			case ScaleTiny:
+				return Params{M: 64, Layers: 3, Seed: 10}
+			case ScaleSmall:
+				return Params{M: 256, Layers: 3, Seed: 10}
+			default:
+				return Params{M: 1024, Layers: 3, Seed: 10}
+			}
+		},
+		Build: func(m config.Mode) (*linker.Object, error) { return buildGEMVKernel(m, "mlp", true) },
+		Run:   runMLP,
+	})
+}
+
+func runMLP(sys *host.System, p Params) error {
+	dim, layers := p.M, p.Layers
+	weights := make([][]int32, layers)
+	for l := range weights {
+		w := randI32s(dim*dim, 16, p.Seed+int64(l))
+		for i := range w {
+			w[i] -= 8
+		}
+		weights[l] = w
+	}
+	x := randI32s(dim, 16, p.Seed+100)
+
+	// Golden model.
+	want := append([]int32(nil), x...)
+	for l := 0; l < layers; l++ {
+		next := make([]int32, dim)
+		for r := 0; r < dim; r++ {
+			var acc int32
+			for j := 0; j < dim; j++ {
+				acc += weights[l][r*dim+j] * want[j]
+			}
+			if acc < 0 {
+				acc = 0
+			}
+			next[r] = acc >> 6
+		}
+		want = next
+	}
+
+	// Layout: each DPU holds its row-slice of every layer's weights, the
+	// (broadcast) activation vector, and its y slice. Offsets are computed
+	// from the largest slice so every DPU shares one layout even when the
+	// last DPUs get short (or empty) row ranges.
+	slices := ranges(dim, sys.NumDPUs(), 2)
+	maxRows := slices[0][1] - slices[0][0]
+	wOff := make([]uint32, layers)
+	off := uint32(0)
+	for l := 0; l < layers; l++ {
+		wOff[l] = off
+		off = align8(off + uint32(4*maxRows*dim))
+	}
+	xOff := off
+	yOff := align8(xOff + uint32(4*dim))
+	for d, r := range slices {
+		for l := 0; l < layers; l++ {
+			if r[1] > r[0] {
+				if err := sys.CopyToMRAM(d, wOff[l], i32sToBytes(weights[l][r[0]*dim:r[1]*dim])); err != nil {
+					return err
+				}
+			}
+		}
+		if err := sys.CopyToMRAM(d, xOff, i32sToBytes(x)); err != nil {
+			return err
+		}
+	}
+
+	act := x
+	for l := 0; l < layers; l++ {
+		if l > 0 {
+			sys.SetPhase(host.PhaseExchange)
+		}
+		for d, r := range slices {
+			rows := r[1] - r[0]
+			if l > 0 {
+				// Broadcast the previous layer's activations.
+				if err := sys.CopyToMRAM(d, xOff, i32sToBytes(act)); err != nil {
+					return err
+				}
+			}
+			if err := sys.WriteArgs(d,
+				host.MRAMBaseAddr(wOff[l]), host.MRAMBaseAddr(xOff),
+				host.MRAMBaseAddr(yOff), uint32(rows), uint32(dim)); err != nil {
+				return err
+			}
+		}
+		if err := sys.Launch(); err != nil {
+			return err
+		}
+		// Gather the layer output (exchange for inner layers, final output
+		// for the last).
+		if l < layers-1 {
+			sys.SetPhase(host.PhaseExchange)
+		} else {
+			sys.SetPhase(host.PhaseOutput)
+		}
+		next := make([]int32, 0, dim)
+		for d, r := range slices {
+			rows := r[1] - r[0]
+			if rows == 0 {
+				continue
+			}
+			raw, err := sys.ReadMRAM(d, yOff, 4*rows)
+			if err != nil {
+				return err
+			}
+			next = append(next, bytesToI32s(raw)...)
+			_ = d
+		}
+		act = next
+	}
+	return checkI32s("MLP", act, want)
+}

@@ -1,0 +1,471 @@
+package prim
+
+import (
+	"fmt"
+
+	"upim/internal/config"
+	"upim/internal/host"
+	"upim/internal/kbuild"
+	"upim/internal/linker"
+)
+
+// NW: Needleman-Wunsch global sequence alignment. The (L+1)x(L+1) score
+// matrix is processed as 16x16 blocks along anti-diagonal waves; blocks on a
+// wave are independent, so tasklets split them and a barrier closes each
+// wave — the limited-TLP, synchronization-bound pattern Fig 6/7 show for NW.
+//
+// Block halos: the top row comes from the score matrix itself (written by
+// the block above in an earlier wave); the left column flows through a
+// dedicated column-halo array (colh) written by the left neighbour, which
+// keeps every DMA 8-byte aligned. Each block writes back rows of B+2 words
+// ([left halo, B cells, scratch]) so row writes stay aligned; the scratch
+// word lands on a cell the block to the right rewrites in a later wave.
+//
+// Multi-DPU: block-rows are banded across DPUs, one launch per wave, with
+// the host copying band-boundary rows between DPUs after each wave — the
+// growing DPU-to-DPU exchange that makes NW scale sub-linearly in Fig 10.
+
+const (
+	nwB        = 16 // block edge
+	nwGap      = 1
+	nwMatch    = 1
+	nwMismatch = -1
+)
+
+func init() {
+	register(&Benchmark{
+		Name:  "NW",
+		About: "Needleman-Wunsch alignment (256-gene sequences in Table II)",
+		Params: func(s Scale) Params {
+			switch s {
+			case ScaleTiny:
+				return Params{N: 64, Seed: 15}
+			case ScaleSmall:
+				return Params{N: 128, Seed: 15}
+			default:
+				return Params{N: 256, Seed: 15}
+			}
+		},
+		Build: buildNW,
+		Run:   runNW,
+	})
+}
+
+func buildNW(mode config.Mode) (*linker.Object, error) {
+	b := kbuild.New("nw-" + mode.String())
+	// args: 0=dp 1=colh 2=s1 3=s2 4=L 5=strideWords 6=waveLo 7=waveHi
+	//       8=bandLo 9=bandHi (block-row range owned by this DPU)
+	bar := b.NewBarrier("bar")
+	rWave, rBi := kbuild.R(0), kbuild.R(2)
+
+	// Outer wave loop (shared by both modes; the block body differs).
+	b.LoadArg(rWave, 6)
+	b.Label("waveloop")
+	// biLo = max(bandLo, wave-(nb-1)); bi starts at biLo + ID.
+	b.LoadArg(kbuild.R(4), 4)
+	b.Lsri(kbuild.R(4), kbuild.R(4), 4) // nb
+	b.LoadArg(kbuild.R(5), 8)           // bandLo
+	b.Sub(kbuild.R(6), rWave, kbuild.R(4))
+	b.Addi(kbuild.R(6), kbuild.R(6), 1)
+	b.Jge(kbuild.R(5), kbuild.R(6), "bilo_ok")
+	b.Mov(kbuild.R(5), kbuild.R(6))
+	b.Label("bilo_ok")
+	b.Add(rBi, kbuild.R(5), kbuild.ID)
+	b.Label("biloop")
+	// biHi = min(bandHi-1, wave), recomputed (the block body clobbers temps).
+	b.LoadArg(kbuild.R(3), 9)
+	b.Subi(kbuild.R(3), kbuild.R(3), 1)
+	b.Jle(kbuild.R(3), rWave, "bihi_ok")
+	b.Mov(kbuild.R(3), rWave)
+	b.Label("bihi_ok")
+	b.Jgt(rBi, kbuild.R(3), "wavedone")
+	b.Call("block")
+	b.Add(rBi, rBi, kbuild.NTH)
+	b.Jump("biloop")
+	b.Label("wavedone")
+	b.Wait(bar, kbuild.R(4), kbuild.R(5), kbuild.R(6))
+	b.Addi(rWave, rWave, 1)
+	b.LoadArg(kbuild.R(1), 7)
+	b.Jle(rWave, kbuild.R(1), "waveloop")
+	b.Stop()
+
+	// Block body: preserves r0 (wave) and r2 (bi), clobbers everything else.
+	b.Label("block")
+	rBj, rI0, rJ0 := kbuild.R(7), kbuild.R(8), kbuild.R(9)
+	b.Sub(rBj, rWave, rBi)
+	b.Lsli(rI0, rBi, 4)
+	b.Addi(rI0, rI0, 1)
+	b.Lsli(rJ0, rBj, 4)
+	b.Addi(rJ0, rJ0, 1)
+
+	switch mode {
+	case config.ModeScratchpad:
+		top := b.Static("top", 16*96, 8)
+		colb := b.Static("colb", 16*64, 8)
+		blk := b.Static("blk", 16*nwB*(nwB+2)*4, 8)
+		s1b := b.Static("s1b", 16*64, 8)
+		s2b := b.Static("s2b", 16*64, 8)
+		rFs, rStride := kbuild.R(10), kbuild.R(11)
+		pTop, pCol, pS1, pS2, pBlk := kbuild.R(14), kbuild.R(15), kbuild.R(16), kbuild.R(17), kbuild.R(18)
+		t1, t2 := kbuild.R(12), kbuild.R(13)
+
+		// fs: top-halo fetch column (j0-3, or 0 for the first block column).
+		b.Movi(rFs, 0)
+		b.Jeqi(rBj, 0, "fs_ok")
+		b.Subi(rFs, rJ0, 3)
+		b.Label("fs_ok")
+		b.LoadArg(rStride, 5)
+
+		// Stage top halo (80B), left column (64B), sequence slices (64B).
+		stage := func(bufSym string, bufStep int32, dst kbuild.Reg) {
+			b.MoviSym(dst, bufSym, 0)
+			b.Muli(t1, kbuild.ID, bufStep)
+			b.Add(dst, dst, t1)
+		}
+		stage(top, 96, pTop)
+		b.Subi(t1, rI0, 1)
+		b.Mul(t1, t1, rStride)
+		b.Add(t1, t1, rFs)
+		b.Lsli(t1, t1, 2)
+		b.LoadArg(t2, 0)
+		b.Add(t1, t2, t1)
+		b.Ldmai(pTop, t1, 80)
+
+		stage(colb, 64, pCol)
+		b.LoadArg(t1, 1)
+		b.Lsli(t2, rBi, 6)
+		b.Add(t1, t1, t2)
+		b.Ldmai(pCol, t1, 64)
+
+		stage(s1b, 64, pS1)
+		b.LoadArg(t1, 2)
+		b.Subi(t2, rI0, 1)
+		b.Lsli(t2, t2, 2)
+		b.Add(t1, t1, t2)
+		b.Ldmai(pS1, t1, 64)
+
+		stage(s2b, 64, pS2)
+		b.LoadArg(t1, 3)
+		b.Subi(t2, rJ0, 1)
+		b.Lsli(t2, t2, 2)
+		b.Add(t1, t1, t2)
+		b.Ldmai(pS2, t1, 64)
+
+		stage(blk, nwB*(nwB+2)*4, pBlk)
+
+		// Cell loops. Row r state: pCur (r19), pU (r13), left (r21), s1
+		// char (r22), pW (r3), c counter (r4); temps r5, r6, r1.
+		rR := kbuild.R(19)
+		rLeft, rC1 := kbuild.R(21), kbuild.R(22)
+		pW, rCc, rUp, rDg, rT := kbuild.R(3), kbuild.R(4), kbuild.R(5), kbuild.R(6), kbuild.R(1)
+		pCur, pU := kbuild.R(20), kbuild.R(13)
+		b.Movi(rR, 0)
+		b.Label("rowloop")
+		b.Muli(pCur, rR, (nwB+2)*4)
+		b.Add(pCur, pBlk, pCur)
+		// pU: row 0 reads the top halo; later rows read the previous row.
+		b.Jnei(rR, 0, "row_gen")
+		b.Sub(pU, rJ0, rFs)
+		b.Lsli(pU, pU, 2)
+		b.Add(pU, pTop, pU)
+		b.Jump("row_set")
+		b.Label("row_gen")
+		b.Addi(pU, pCur, -(nwB+2)*4+4)
+		b.Label("row_set")
+		// left = colb[r]; blk[r][0] = left (the aligned-writeback halo word).
+		b.Lsli(rT, rR, 2)
+		b.Add(rT, pCol, rT)
+		b.Lw(rLeft, rT, 0)
+		b.Sw(rLeft, pCur, 0)
+		// s1 character for this row.
+		b.Lsli(rT, rR, 2)
+		b.Add(rT, pS1, rT)
+		b.Lw(rC1, rT, 0)
+		b.Movi(rCc, 0)
+		b.Addi(pW, pCur, 4)
+		b.Label("cloop")
+		b.Lw(rUp, pU, 0)
+		b.Lw(rDg, pU, -4)
+		// match/mismatch on s2[c].
+		b.Lsli(rT, rCc, 2)
+		b.Add(rT, pS2, rT)
+		b.Lw(rT, rT, 0)
+		b.Sub(rT, rC1, rT)
+		b.Jeqi(rT, 0, "match")
+		b.Addi(rDg, rDg, nwMismatch)
+		b.Jump("scored")
+		b.Label("match")
+		b.Addi(rDg, rDg, nwMatch)
+		b.Label("scored")
+		b.Subi(rUp, rUp, nwGap)
+		// score = max(diag', up', left-gap)
+		b.Jge(rDg, rUp, "m1")
+		b.Mov(rDg, rUp)
+		b.Label("m1")
+		b.Subi(rT, rLeft, nwGap)
+		b.Jge(rDg, rT, "m2")
+		b.Mov(rDg, rT)
+		b.Label("m2")
+		b.Sw(rDg, pW, 0)
+		b.Mov(rLeft, rDg)
+		b.Addi(pW, pW, 4)
+		b.Addi(pU, pU, 4)
+		b.Addi(rCc, rCc, 1)
+		b.Jlti(rCc, nwB, "cloop")
+		b.Addi(rR, rR, 1)
+		b.Jlti(rR, nwB, "rowloop")
+
+		// Write back the B rows (B+2 words each) into the score matrix.
+		b.Movi(rR, 0)
+		b.Label("wbloop")
+		b.Muli(t1, rR, (nwB+2)*4)
+		b.Add(t1, pBlk, t1)
+		b.Add(t2, rI0, rR)
+		b.Mul(t2, t2, rStride)
+		b.Add(t2, t2, rJ0)
+		b.Subi(t2, t2, 1)
+		b.Lsli(t2, t2, 2)
+		b.LoadArg(rT, 0)
+		b.Add(t2, rT, t2)
+		b.Sdmai(t1, t2, (nwB+2)*4)
+		b.Addi(rR, rR, 1)
+		b.Jlti(rR, nwB, "wbloop")
+
+		// Publish my right edge as the next column halo for block (bi,bj+1).
+		b.Movi(rR, 0)
+		b.Label("chloop")
+		b.Muli(t1, rR, (nwB+2)*4)
+		b.Add(t1, pBlk, t1)
+		b.Lw(t2, t1, nwB*4)
+		b.Lsli(t1, rR, 2)
+		b.Add(t1, pCol, t1)
+		b.Sw(t2, t1, 0)
+		b.Addi(rR, rR, 1)
+		b.Jlti(rR, nwB, "chloop")
+		b.LoadArg(t1, 1)
+		b.Lsli(t2, rBi, 6)
+		b.Add(t1, t1, t2)
+		b.Sdmai(pCol, t1, 64)
+		b.Ret()
+
+	case config.ModeCache:
+		// Direct-addressing block body: halos come straight from the score
+		// matrix through the D-cache; colh is not needed.
+		rStride, pDP, pS1, pS2 := kbuild.R(10), kbuild.R(11), kbuild.R(16), kbuild.R(17)
+		rR, rLeft, rC1 := kbuild.R(19), kbuild.R(21), kbuild.R(22)
+		pW, rCc, rUp, rDg, rT := kbuild.R(3), kbuild.R(4), kbuild.R(5), kbuild.R(6), kbuild.R(1)
+		pUp := kbuild.R(13)
+		b.LoadArg(rStride, 5)
+		b.LoadArg(pDP, 0)
+		b.LoadArg(pS1, 2)
+		b.LoadArg(pS2, 3)
+		b.Movi(rR, 0)
+		b.Label("rowloop")
+		// Row base pointers: pW = &dp[i0+r][j0], pUp = &dp[i0+r-1][j0].
+		b.Add(rT, rI0, rR)
+		b.Mul(rT, rT, rStride)
+		b.Add(rT, rT, rJ0)
+		b.Lsli(rT, rT, 2)
+		b.Add(pW, pDP, rT)
+		b.Lsli(rT, rStride, 2)
+		b.Sub(pUp, pW, rT)
+		// left = dp[i0+r][j0-1]
+		b.Lw(rLeft, pW, -4)
+		// s1 char
+		b.Add(rT, rI0, rR)
+		b.Subi(rT, rT, 1)
+		b.Lsli(rT, rT, 2)
+		b.Add(rT, pS1, rT)
+		b.Lw(rC1, rT, 0)
+		b.Movi(rCc, 0)
+		b.Label("cloop")
+		b.Lw(rUp, pUp, 0)
+		b.Lw(rDg, pUp, -4)
+		b.Add(rT, rJ0, rCc)
+		b.Subi(rT, rT, 1)
+		b.Lsli(rT, rT, 2)
+		b.Add(rT, pS2, rT)
+		b.Lw(rT, rT, 0)
+		b.Sub(rT, rC1, rT)
+		b.Jeqi(rT, 0, "match")
+		b.Addi(rDg, rDg, nwMismatch)
+		b.Jump("scored")
+		b.Label("match")
+		b.Addi(rDg, rDg, nwMatch)
+		b.Label("scored")
+		b.Subi(rUp, rUp, nwGap)
+		b.Jge(rDg, rUp, "m1")
+		b.Mov(rDg, rUp)
+		b.Label("m1")
+		b.Subi(rT, rLeft, nwGap)
+		b.Jge(rDg, rT, "m2")
+		b.Mov(rDg, rT)
+		b.Label("m2")
+		b.Sw(rDg, pW, 0)
+		b.Mov(rLeft, rDg)
+		b.Addi(pW, pW, 4)
+		b.Addi(pUp, pUp, 4)
+		b.Addi(rCc, rCc, 1)
+		b.Jlti(rCc, nwB, "cloop")
+		b.Addi(rR, rR, 1)
+		b.Jlti(rR, nwB, "rowloop")
+		b.Ret()
+
+	default:
+		return nil, fmt.Errorf("nw: unsupported mode %v", mode)
+	}
+	return b.Build()
+}
+
+// nwGolden computes the reference score matrix.
+func nwGolden(s1, s2 []int32, L int) []int32 {
+	dp := make([]int32, (L+1)*(L+1))
+	at := func(i, j int) *int32 { return &dp[i*(L+1)+j] }
+	for i := 0; i <= L; i++ {
+		*at(i, 0) = int32(-i * nwGap)
+		*at(0, i) = int32(-i * nwGap)
+	}
+	for i := 1; i <= L; i++ {
+		for j := 1; j <= L; j++ {
+			m := int32(nwMismatch)
+			if s1[i-1] == s2[j-1] {
+				m = nwMatch
+			}
+			best := *at(i-1, j-1) + m
+			if v := *at(i-1, j) - nwGap; v > best {
+				best = v
+			}
+			if v := *at(i, j-1) - nwGap; v > best {
+				best = v
+			}
+			*at(i, j) = best
+		}
+	}
+	return dp
+}
+
+func runNW(sys *host.System, p Params) error {
+	L := p.N
+	if L%nwB != 0 {
+		return fmt.Errorf("nw: L=%d must be a multiple of %d", L, nwB)
+	}
+	nb := L / nwB
+	stride := L + 4 // words per dp row (even, with slack for the B+2 writes)
+	s1 := randI32s(L, 4, p.Seed)
+	s2 := randI32s(L, 4, p.Seed+1)
+	want := nwGolden(s1, s2, L)
+
+	// Layout (replicated on every DPU).
+	dpOff := uint32(0)
+	colhOff := align8(uint32(4 * (L + 1) * stride))
+	s1Off := align8(colhOff + uint32(4*L))
+	s2Off := align8(s1Off + uint32(4*L))
+
+	dpInit := make([]int32, (L+1)*stride)
+	for j := 0; j <= L; j++ {
+		dpInit[j] = int32(-j * nwGap)
+	}
+	for i := 0; i <= L; i++ {
+		dpInit[i*stride] = int32(-i * nwGap)
+	}
+	colh := make([]int32, L)
+	for k := range colh {
+		colh[k] = int32(-(k + 1) * nwGap)
+	}
+
+	D := sys.NumDPUs()
+	bands := ranges(nb, D, 1)
+	for d := 0; d < D; d++ {
+		if err := sys.CopyToMRAM(d, dpOff, i32sToBytes(dpInit)); err != nil {
+			return err
+		}
+		if err := sys.CopyToMRAM(d, colhOff, i32sToBytes(colh)); err != nil {
+			return err
+		}
+		if err := sys.CopyToMRAM(d, s1Off, i32sToBytes(s1)); err != nil {
+			return err
+		}
+		if err := sys.CopyToMRAM(d, s2Off, i32sToBytes(s2)); err != nil {
+			return err
+		}
+	}
+
+	writeArgs := func(d int, waveLo, waveHi int) error {
+		return sys.WriteArgs(d,
+			host.MRAMBaseAddr(dpOff), host.MRAMBaseAddr(colhOff),
+			host.MRAMBaseAddr(s1Off), host.MRAMBaseAddr(s2Off),
+			uint32(L), uint32(stride), uint32(waveLo), uint32(waveHi),
+			uint32(bands[d][0]), uint32(bands[d][1]))
+	}
+
+	if D == 1 {
+		if err := writeArgs(0, 0, 2*nb-2); err != nil {
+			return err
+		}
+		if err := sys.Launch(); err != nil {
+			return err
+		}
+	} else {
+		// One launch per wave, with band-boundary row exchange in between.
+		for wave := 0; wave <= 2*nb-2; wave++ {
+			for d := 0; d < D; d++ {
+				if err := writeArgs(d, wave, wave); err != nil {
+					return err
+				}
+			}
+			if err := sys.Launch(); err != nil {
+				return err
+			}
+			sys.SetPhase(host.PhaseExchange)
+			for d := 1; d < D; d++ {
+				bs := bands[d][0]
+				if bands[d][0] >= bands[d][1] || bs == 0 {
+					continue
+				}
+				// The upper DPU just computed block (bs-1, wave-bs+1); its
+				// bottom row feeds this DPU's next-wave block (bs, ...).
+				bj := wave - (bs - 1)
+				if bj < 0 || bj >= nb {
+					continue
+				}
+				row := bs * nwB // dp row index of the boundary
+				j0 := 1 + bj*nwB
+				ws := max(0, j0-4)
+				seg := 24 // words
+				off := dpOff + uint32(4*(row*stride+ws))
+				raw, err := sys.ReadMRAM(d-1, off, 4*seg)
+				if err != nil {
+					return err
+				}
+				if err := sys.CopyToMRAM(d, off, raw); err != nil {
+					return err
+				}
+			}
+		}
+	}
+
+	// Verify each DPU's band of the score matrix.
+	sys.SetPhase(host.PhaseOutput)
+	for d := 0; d < D; d++ {
+		lo, hi := bands[d][0], bands[d][1]
+		if lo >= hi {
+			continue
+		}
+		rowLo, rowHi := 1+lo*nwB, 1+hi*nwB-1
+		raw, err := sys.ReadMRAM(d, dpOff+uint32(4*rowLo*stride), 4*(rowHi-rowLo+1)*stride)
+		if err != nil {
+			return err
+		}
+		vals := bytesToI32s(raw)
+		for i := rowLo; i <= rowHi; i++ {
+			for j := 1; j <= L; j++ {
+				got := vals[(i-rowLo)*stride+j]
+				if got != want[i*(L+1)+j] {
+					return fmt.Errorf("NW: dpu %d cell (%d,%d) = %d, want %d",
+						d, i, j, got, want[i*(L+1)+j])
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,227 @@
+// Package prim reimplements the PrIM benchmark suite (Gómez-Luna et al.)
+// against the uPIMulator-Go toolchain: 16 data-intensive workloads, each in
+// a scratchpad-centric variant (DMA staging, the baseline UPMEM model) and a
+// cache-centric variant (direct loads/stores through the case-study 4
+// caches), plus multi-DPU partitioning and host-side golden verification.
+//
+// Every run is functionally cross-validated: the DPU-computed outputs are
+// compared against a pure-Go reference, standing in for the paper's
+// validation against real UPMEM hardware.
+package prim
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"upim/internal/config"
+	"upim/internal/host"
+	"upim/internal/linker"
+	"upim/internal/stats"
+)
+
+// Scale selects dataset sizes.
+type Scale int
+
+const (
+	// ScaleTiny is for unit tests (sub-second full-suite runs).
+	ScaleTiny Scale = iota
+	// ScaleSmall is the default for benchmarks and figure regeneration.
+	ScaleSmall
+	// ScalePaper approximates Table II's single-DPU datasets.
+	ScalePaper
+)
+
+func (s Scale) String() string {
+	switch s {
+	case ScaleTiny:
+		return "tiny"
+	case ScaleSmall:
+		return "small"
+	case ScalePaper:
+		return "paper"
+	default:
+		return fmt.Sprintf("scale?%d", int(s))
+	}
+}
+
+// Params carries per-benchmark dataset knobs. Meaning varies by benchmark;
+// N is always the primary element count.
+type Params struct {
+	N         int
+	M         int // rows / secondary dimension
+	Bins      int
+	Layers    int
+	Queries   int
+	Window    int
+	NNZPerRow int
+	Seed      int64
+}
+
+// Benchmark is one PrIM workload.
+type Benchmark struct {
+	Name string
+	// About is a one-line description (Table II row).
+	About string
+	// Params returns dataset sizes for a scale.
+	Params func(Scale) Params
+	// Build lowers the kernel for a mode. ModeSIMT is only supported where
+	// noted (GEMV).
+	Build func(mode config.Mode) (*linker.Object, error)
+	// Run distributes data, launches (possibly repeatedly), retrieves and
+	// verifies results against the golden model.
+	Run func(sys *host.System, p Params) error
+	// MaxTasklets bounds NumTasklets for WRAM-footprint reasons (0 = 16).
+	MaxTasklets int
+	// SupportsSIMT marks benchmarks with a SIMT kernel variant.
+	SupportsSIMT bool
+}
+
+var registry []*Benchmark
+
+func register(b *Benchmark) { registry = append(registry, b) }
+
+// Benchmarks lists the suite in PrIM's canonical order.
+func Benchmarks() []*Benchmark {
+	out := append([]*Benchmark(nil), registry...)
+	sort.Slice(out, func(i, j int) bool { return order(out[i].Name) < order(out[j].Name) })
+	return out
+}
+
+// order gives PrIM's Table II ordering.
+func order(name string) int {
+	for i, n := range []string{
+		"BFS", "BS", "GEMV", "HST-L", "HST-S", "MLP", "NW", "RED",
+		"SCAN-RSS", "SCAN-SSA", "SEL", "SpMV", "TRNS", "TS", "UNI", "VA",
+	} {
+		if n == name {
+			return i
+		}
+	}
+	return 99
+}
+
+// ByName looks a benchmark up.
+func ByName(name string) (*Benchmark, error) {
+	for _, b := range registry {
+		if b.Name == name {
+			return b, nil
+		}
+	}
+	return nil, fmt.Errorf("prim: unknown benchmark %q", name)
+}
+
+// Result captures one run's outputs for the figure drivers.
+type Result struct {
+	Benchmark string
+	Mode      config.Mode
+	Tasklets  int
+	DPUs      int
+	Report    host.Report
+	Stats     stats.DPU
+	PerDPU    []stats.DPU
+}
+
+// Run executes a benchmark under cfg on nDPUs and verifies its output.
+func Run(name string, cfg config.Config, nDPUs int, scale Scale) (*Result, error) {
+	b, err := ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	maxT := b.MaxTasklets
+	if maxT == 0 {
+		maxT = 16
+	}
+	if cfg.Mode != config.ModeSIMT && cfg.NumTasklets > maxT {
+		return nil, fmt.Errorf("prim: %s supports at most %d tasklets (WRAM footprint)", name, maxT)
+	}
+	if cfg.Mode == config.ModeSIMT && !b.SupportsSIMT {
+		return nil, fmt.Errorf("prim: %s has no SIMT kernel variant", name)
+	}
+	obj, err := b.Build(cfg.Mode)
+	if err != nil {
+		return nil, fmt.Errorf("prim: %s: build: %w", name, err)
+	}
+	sys, err := host.NewSystem(obj, cfg, nDPUs)
+	if err != nil {
+		return nil, fmt.Errorf("prim: %s: %w", name, err)
+	}
+	p := b.Params(scale)
+	if err := b.Run(sys, p); err != nil {
+		return nil, fmt.Errorf("prim: %s (%v, %d tasklets, %d DPUs): %w",
+			name, cfg.Mode, cfg.NumTasklets, nDPUs, err)
+	}
+	res := &Result{
+		Benchmark: name,
+		Mode:      cfg.Mode,
+		Tasklets:  cfg.NumTasklets,
+		DPUs:      nDPUs,
+		Report:    sys.Report(),
+		Stats:     sys.AggregateStats(),
+	}
+	for i := 0; i < nDPUs; i++ {
+		res.PerDPU = append(res.PerDPU, *sys.DPU(i).Stats())
+	}
+	return res, nil
+}
+
+// --- shared host-side helpers -------------------------------------------
+
+// i32sToBytes serializes int32s little-endian.
+func i32sToBytes(v []int32) []byte {
+	out := make([]byte, 4*len(v))
+	for i, x := range v {
+		binary.LittleEndian.PutUint32(out[4*i:], uint32(x))
+	}
+	return out
+}
+
+// bytesToI32s deserializes little-endian int32s.
+func bytesToI32s(raw []byte) []int32 {
+	out := make([]int32, len(raw)/4)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(raw[4*i:]))
+	}
+	return out
+}
+
+// randI32s generates n values in [0, bound) from a seed.
+func randI32s(n int, bound int32, seed int64) []int32 {
+	r := rand.New(rand.NewSource(seed))
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = r.Int31n(bound)
+	}
+	return out
+}
+
+// ranges splits n items into parts contiguous ranges, each aligned to align
+// items (except possibly the last).
+func ranges(n, parts, align int) [][2]int {
+	out := make([][2]int, parts)
+	chunk := (n + parts - 1) / parts
+	chunk = (chunk + align - 1) / align * align
+	for i := 0; i < parts; i++ {
+		lo := min(i*chunk, n)
+		hi := min(lo+chunk, n)
+		out[i] = [2]int{lo, hi}
+	}
+	return out
+}
+
+// checkI32s compares DPU output with the golden model.
+func checkI32s(what string, got, want []int32) error {
+	if len(got) != len(want) {
+		return fmt.Errorf("%s: length %d, want %d", what, len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			return fmt.Errorf("%s: element %d = %d, want %d", what, i, got[i], want[i])
+		}
+	}
+	return nil
+}
+
+// align8 rounds a byte offset up to the DMA alignment.
+func align8(off uint32) uint32 { return (off + 7) &^ 7 }

@@ -1,0 +1,109 @@
+package prim
+
+import (
+	"testing"
+
+	"upim/internal/config"
+)
+
+// TestSuiteMatrix functionally verifies every registered benchmark across
+// modes, thread counts and DPU counts at tiny scale — the repo's stand-in
+// for the paper's cross-validation against real hardware.
+func TestSuiteMatrix(t *testing.T) {
+	for _, b := range Benchmarks() {
+		for _, mode := range []config.Mode{config.ModeScratchpad, config.ModeCache} {
+			for _, threads := range []int{1, 4, 16} {
+				for _, dpus := range []int{1, 4} {
+					name := b.Name + "/" + mode.String() +
+						"/t" + itoa(threads) + "/d" + itoa(dpus)
+					t.Run(name, func(t *testing.T) {
+						t.Parallel()
+						cfg := config.Default()
+						cfg.Mode = mode
+						cfg.NumTasklets = threads
+						if _, err := Run(b.Name, cfg, dpus, ScaleTiny); err != nil {
+							t.Fatal(err)
+						}
+					})
+				}
+			}
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// TestOddSizes exercises non-round dataset sizes (partition edge cases).
+func TestOddSizes(t *testing.T) {
+	for _, b := range Benchmarks() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			t.Parallel()
+			cfg := config.Default()
+			cfg.NumTasklets = 7 // deliberately awkward
+			p := b.Params(ScaleTiny)
+			obj, err := b.Build(cfg.Mode)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_ = obj
+			if _, err := Run(b.Name, cfg, 3, ScaleTiny); err != nil {
+				t.Fatal(err)
+			}
+			_ = p
+		})
+	}
+}
+
+func TestUnknownBenchmark(t *testing.T) {
+	if _, err := ByName("NOPE"); err == nil {
+		t.Fatal("unknown benchmark must error")
+	}
+	if _, err := Run("NOPE", config.Default(), 1, ScaleTiny); err == nil {
+		t.Fatal("Run of unknown benchmark must error")
+	}
+}
+
+func TestTaskletCapEnforced(t *testing.T) {
+	cfg := config.Default()
+	cfg.NumTasklets = 24
+	if _, err := Run("VA", cfg, 1, ScaleTiny); err == nil {
+		t.Fatal("tasklet cap must be enforced")
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"BFS", "BS", "GEMV", "HST-L", "HST-S", "MLP", "NW", "RED",
+		"SCAN-RSS", "SCAN-SSA", "SEL", "SpMV", "TRNS", "TS", "UNI", "VA",
+	}
+	have := map[string]bool{}
+	for _, b := range Benchmarks() {
+		have[b.Name] = true
+	}
+	missing := 0
+	for _, n := range want {
+		if !have[n] {
+			t.Logf("missing benchmark: %s", n)
+			missing++
+		}
+	}
+	if missing > 0 {
+		t.Fatalf("%d of %d PrIM benchmarks missing", missing, len(want))
+	}
+	if len(registry) != len(want) {
+		t.Fatalf("registry has %d entries, want %d", len(registry), len(want))
+	}
+}

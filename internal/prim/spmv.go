@@ -1,0 +1,320 @@
+package prim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"upim/internal/config"
+	"upim/internal/host"
+	"upim/internal/kbuild"
+	"upim/internal/linker"
+)
+
+// SpMV: CSR sparse matrix-vector multiply. Row ranges are partitioned over
+// tasklets; column indices/values stream through WRAM in chunks while x is
+// gathered with one small DMA per non-zero — the irregular access pattern
+// that makes SpMV (with BS) the suite's memory-bound outlier in Fig 5/6.
+
+func init() {
+	register(&Benchmark{
+		Name:  "SpMV",
+		About: "CSR sparse matrix-vector multiply (12K x 12K, 80K nnz in Table II)",
+		Params: func(s Scale) Params {
+			switch s {
+			case ScaleTiny:
+				return Params{M: 512, N: 512, NNZPerRow: 6, Seed: 13}
+			case ScaleSmall:
+				return Params{M: 4 << 10, N: 4 << 10, NNZPerRow: 7, Seed: 13}
+			default:
+				return Params{M: 12 << 10, N: 12 << 10, NNZPerRow: 7, Seed: 13}
+			}
+		},
+		Build: buildSpMV,
+		Run:   runSpMV,
+	})
+}
+
+func buildSpMV(mode config.Mode) (*linker.Object, error) {
+	b := kbuild.New("spmv-" + mode.String())
+	rRP, rCI, rVA, rX, rY, rM := kbuild.R(0), kbuild.R(1), kbuild.R(2), kbuild.R(3), kbuild.R(4), kbuild.R(5)
+	rs, re, rTmp := kbuild.R(6), kbuild.R(7), kbuild.R(8)
+	b.LoadArg(rRP, 0)
+	b.LoadArg(rCI, 1)
+	b.LoadArg(rVA, 2)
+	b.LoadArg(rX, 3)
+	b.LoadArg(rY, 4)
+	b.LoadArg(rM, 5)
+	b.TaskletRangeAligned(rs, re, rM, rTmp, 2)
+
+	rRow, rS, rE, acc := kbuild.R(9), kbuild.R(10), kbuild.R(11), kbuild.R(12)
+
+	switch mode {
+	case config.ModeScratchpad:
+		rpb := b.Static("rpb", 16*16, 8)
+		cbuf := b.Static("cbuf", 16*512, 8)
+		vbuf := b.Static("vbuf", 16*512, 8)
+		xb := b.Static("xb", 16*8, 8)
+		ybuf := b.Static("ybuf", 16*32*4, 8)
+		const segElemsMax = 128
+		rCur, rSeg := kbuild.R(13), kbuild.R(14)
+		p1, p2, c, v := kbuild.R(15), kbuild.R(16), kbuild.R(17), kbuild.R(18)
+		pEnd, rYCnt, rFlush, pXB := kbuild.R(19), kbuild.R(20), kbuild.R(21), kbuild.R(22)
+
+		b.MoviSym(pXB, xb, 0)
+		b.Lsli(rTmp, kbuild.ID, 3)
+		b.Add(pXB, pXB, rTmp)
+		b.Mov(rRow, rs)
+		b.Movi(rYCnt, 0)
+		b.Mov(rFlush, rs)
+
+		b.Label("rowloop")
+		b.Jge(rRow, re, "tail")
+		// Fetch rowptr[row], rowptr[row+1] with one aligned 16B stage.
+		b.Andi(rTmp, rRow, -2)
+		b.Lsli(rTmp, rTmp, 2)
+		b.Add(rTmp, rRP, rTmp)
+		b.MoviSym(p1, rpb, 0)
+		b.Lsli(p2, kbuild.ID, 4)
+		b.Add(p1, p1, p2)
+		b.Ldmai(p1, rTmp, 16)
+		b.Andi(rTmp, rRow, 1)
+		b.Lsli(rTmp, rTmp, 2)
+		b.Add(p1, p1, rTmp)
+		b.Lw(rS, p1, 0)
+		b.Lw(rE, p1, 4)
+		b.Movi(acc, 0)
+		b.Mov(rCur, rS)
+
+		b.Label("seg")
+		b.Jge(rCur, rE, "rowdone")
+		b.Sub(rSeg, rE, rCur)
+		b.Jlti(rSeg, segElemsMax, "seg_sz")
+		b.Movi(rSeg, segElemsMax)
+		b.Label("seg_sz")
+		b.Andi(rTmp, rCur, -2) // aligned start element
+		b.Sub(p1, rCur, rTmp)  // head skip (0/1)
+		b.Add(p2, rSeg, p1)
+		b.Addi(p2, p2, 1)
+		b.Andi(p2, p2, -2)
+		b.Lsli(p2, p2, 2) // fetch bytes
+		b.Lsli(rTmp, rTmp, 2)
+		// Stage colidx segment.
+		b.MoviSym(c, cbuf, 0)
+		b.Muli(v, kbuild.ID, 512)
+		b.Add(c, c, v)
+		b.Add(v, rCI, rTmp)
+		b.Ldma(c, v, p2)
+		// Stage vals segment.
+		b.MoviSym(v, vbuf, 0)
+		b.Muli(pEnd, kbuild.ID, 512)
+		b.Add(v, v, pEnd)
+		b.Add(pEnd, rVA, rTmp)
+		b.Ldma(v, pEnd, p2)
+		// Cursors p1 = &col[head], p2 = &val[head]; pEnd bounds p1.
+		b.Lsli(p1, p1, 2)
+		b.Add(p2, v, p1)
+		b.MoviSym(v, cbuf, 0)
+		b.Muli(pEnd, kbuild.ID, 512)
+		b.Add(v, v, pEnd)
+		b.Add(p1, v, p1)
+		b.Lsli(pEnd, rSeg, 2)
+		b.Add(pEnd, p1, pEnd)
+		b.Add(rCur, rCur, rSeg)
+
+		b.Label("elem")
+		b.Lw(c, p1, 0)
+		b.Lw(v, p2, 0)
+		// Gather x[c] with an aligned 8B DMA.
+		b.Andi(rTmp, c, -2)
+		b.Lsli(rTmp, rTmp, 2)
+		b.Add(rTmp, rX, rTmp)
+		b.Ldmai(pXB, rTmp, 8)
+		b.Andi(c, c, 1)
+		b.Lsli(c, c, 2)
+		b.Add(c, pXB, c)
+		b.Lw(c, c, 0)
+		b.Mul(rTmp, v, c)
+		b.Add(acc, acc, rTmp)
+		b.Addi(p1, p1, 4)
+		b.Addi(p2, p2, 4)
+		b.Jlt(p1, pEnd, "elem")
+		b.Jump("seg")
+
+		b.Label("rowdone")
+		// ybuf[yCnt] = acc; flush every 32 rows.
+		b.MoviSym(rTmp, ybuf, 0)
+		b.Muli(rS, kbuild.ID, 32*4)
+		b.Add(rTmp, rTmp, rS)
+		b.Lsli(rS, rYCnt, 2)
+		b.Add(rTmp, rTmp, rS)
+		b.Sw(acc, rTmp, 0)
+		b.Addi(rYCnt, rYCnt, 1)
+		b.Addi(rRow, rRow, 1)
+		b.Jlti(rYCnt, 32, "rowloop")
+		b.Lsli(rTmp, rFlush, 2)
+		b.Add(rTmp, rY, rTmp)
+		b.MoviSym(rS, ybuf, 0)
+		b.Muli(rE, kbuild.ID, 32*4)
+		b.Add(rS, rS, rE)
+		b.Sdmai(rS, rTmp, 32*4)
+		b.Mov(rFlush, rRow)
+		b.Movi(rYCnt, 0)
+		b.Jump("rowloop")
+
+		b.Label("tail")
+		b.Jeqi(rYCnt, 0, "done")
+		b.Lsli(rTmp, rFlush, 2)
+		b.Add(rTmp, rY, rTmp)
+		b.MoviSym(rS, ybuf, 0)
+		b.Muli(rE, kbuild.ID, 32*4)
+		b.Add(rS, rS, rE)
+		b.Lsli(rE, rYCnt, 2)
+		b.Sdma(rS, rTmp, rE)
+		b.Label("done")
+		b.Stop()
+
+	case config.ModeCache:
+		p1, p2, c, v, pEnd, pw := kbuild.R(13), kbuild.R(14), kbuild.R(15), kbuild.R(16), kbuild.R(17), kbuild.R(18)
+		b.Mov(rRow, rs)
+		b.Label("rowloop")
+		b.Jge(rRow, re, "done")
+		b.Lsli(rTmp, rRow, 2)
+		b.Add(rTmp, rRP, rTmp)
+		b.Lw(rS, rTmp, 0)
+		b.Lw(rE, rTmp, 4)
+		b.Movi(acc, 0)
+		b.Lsli(p1, rS, 2)
+		b.Add(p2, rVA, p1)
+		b.Add(p1, rCI, p1)
+		b.Sub(pEnd, rE, rS)
+		b.Lsli(pEnd, pEnd, 2)
+		b.Add(pEnd, p1, pEnd)
+		b.Label("elem")
+		b.Jge(p1, pEnd, "rowdone")
+		b.Lw(c, p1, 0)
+		b.Lw(v, p2, 0)
+		b.Lsli(c, c, 2)
+		b.Add(c, rX, c)
+		b.Lw(c, c, 0)
+		b.Mul(rTmp, v, c)
+		b.Add(acc, acc, rTmp)
+		b.Addi(p1, p1, 4)
+		b.Addi(p2, p2, 4)
+		b.Jump("elem")
+		b.Label("rowdone")
+		b.Lsli(rTmp, rRow, 2)
+		b.Add(pw, rY, rTmp)
+		b.Sw(acc, pw, 0)
+		b.Addi(rRow, rRow, 1)
+		b.Jump("rowloop")
+		b.Label("done")
+		b.Stop()
+
+	default:
+		return nil, fmt.Errorf("spmv: unsupported mode %v", mode)
+	}
+	return b.Build()
+}
+
+// csr holds a host-side CSR matrix.
+type csr struct {
+	m, n   int
+	rowptr []int32
+	colidx []int32
+	vals   []int32
+}
+
+func genCSR(m, n, nnzPerRow int, seed int64) *csr {
+	r := rand.New(rand.NewSource(seed))
+	c := &csr{m: m, n: n, rowptr: make([]int32, m+1)}
+	for row := 0; row < m; row++ {
+		cnt := r.Intn(2*nnzPerRow + 1)
+		cols := map[int32]bool{}
+		for len(cols) < cnt {
+			cols[r.Int31n(int32(n))] = true
+		}
+		sorted := make([]int32, 0, cnt)
+		for col := range cols {
+			sorted = append(sorted, col)
+		}
+		for i := 1; i < len(sorted); i++ {
+			for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+				sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+			}
+		}
+		for _, col := range sorted {
+			c.colidx = append(c.colidx, col)
+			c.vals = append(c.vals, 1+r.Int31n(16))
+		}
+		c.rowptr[row+1] = int32(len(c.colidx))
+	}
+	return c
+}
+
+func runSpMV(sys *host.System, p Params) error {
+	mtx := genCSR(p.M, p.N, p.NNZPerRow, p.Seed)
+	x := randI32s(p.N, 64, p.Seed+1)
+	want := make([]int32, p.M)
+	for row := 0; row < p.M; row++ {
+		var acc int32
+		for k := mtx.rowptr[row]; k < mtx.rowptr[row+1]; k++ {
+			acc += mtx.vals[k] * x[mtx.colidx[k]]
+		}
+		want[row] = acc
+	}
+
+	slices := ranges(p.M, sys.NumDPUs(), 2)
+	type lay struct{ rpOff, ciOff, vaOff, xOff, yOff uint32 }
+	lays := make([]lay, sys.NumDPUs())
+	for d, sl := range slices {
+		rows := sl[1] - sl[0]
+		base, limit := mtx.rowptr[sl[0]], mtx.rowptr[sl[1]]
+		nnz := int(limit - base)
+		// Rebase the row pointers to this DPU's colidx/vals slices.
+		rp := make([]int32, rows+1)
+		for i := 0; i <= rows; i++ {
+			rp[i] = mtx.rowptr[sl[0]+i] - base
+		}
+		var l lay
+		l.rpOff = 0
+		l.ciOff = align8(uint32(4 * (rows + 2)))
+		l.vaOff = align8(l.ciOff + uint32(4*nnz))
+		l.xOff = align8(l.vaOff + uint32(4*nnz))
+		l.yOff = align8(l.xOff + uint32(4*p.N))
+		lays[d] = l
+		if err := sys.CopyToMRAM(d, l.rpOff, i32sToBytes(rp)); err != nil {
+			return err
+		}
+		if nnz > 0 {
+			if err := sys.CopyToMRAM(d, l.ciOff, i32sToBytes(mtx.colidx[base:limit])); err != nil {
+				return err
+			}
+			if err := sys.CopyToMRAM(d, l.vaOff, i32sToBytes(mtx.vals[base:limit])); err != nil {
+				return err
+			}
+		}
+		if err := sys.CopyToMRAM(d, l.xOff, i32sToBytes(x)); err != nil {
+			return err
+		}
+		if err := sys.WriteArgs(d,
+			host.MRAMBaseAddr(l.rpOff), host.MRAMBaseAddr(l.ciOff),
+			host.MRAMBaseAddr(l.vaOff), host.MRAMBaseAddr(l.xOff),
+			host.MRAMBaseAddr(l.yOff), uint32(rows)); err != nil {
+			return err
+		}
+	}
+	if err := sys.Launch(); err != nil {
+		return err
+	}
+	sys.SetPhase(host.PhaseOutput)
+	got := make([]int32, 0, p.M)
+	for d, sl := range slices {
+		rows := sl[1] - sl[0]
+		raw, err := sys.ReadMRAM(d, lays[d].yOff, 4*rows)
+		if err != nil {
+			return err
+		}
+		got = append(got, bytesToI32s(raw)...)
+	}
+	return checkI32s("SpMV", got, want)
+}

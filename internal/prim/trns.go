@@ -1,0 +1,213 @@
+package prim
+
+import (
+	"fmt"
+
+	"upim/internal/config"
+	"upim/internal/host"
+	"upim/internal/kbuild"
+	"upim/internal/linker"
+)
+
+// TRNS: out-of-place matrix transpose over 4x4 tiles pulled from a shared,
+// mutex-guarded work queue. The fine tile granularity means tasklets hammer
+// the queue lock, reproducing the synchronization-heavy instruction mix the
+// paper reports for TRNS (Fig 9), on top of the strided DMA traffic.
+
+const trnsTile = 4
+
+func init() {
+	register(&Benchmark{
+		Name:  "TRNS",
+		About: "tiled matrix transpose (128K elem. single-DPU in Table II)",
+		Params: func(s Scale) Params {
+			switch s {
+			case ScaleTiny:
+				return Params{M: 64, N: 64, Seed: 14}
+			case ScaleSmall:
+				return Params{M: 256, N: 256, Seed: 14}
+			default:
+				return Params{M: 512, N: 256, Seed: 14}
+			}
+		},
+		Build: buildTRNS,
+		Run:   runTRNS,
+	})
+}
+
+func buildTRNS(mode config.Mode) (*linker.Object, error) {
+	b := kbuild.New("trns-" + mode.String())
+	// args: 0=in 1=out 2=M(rows) 3=N(cols); M,N multiples of 4.
+	rIn, rOut, rM, rN := kbuild.R(0), kbuild.R(1), kbuild.R(2), kbuild.R(3)
+	rTPR, rTiles, rT, rI0, rJ0, rTmp := kbuild.R(4), kbuild.R(5), kbuild.R(6), kbuild.R(7), kbuild.R(8), kbuild.R(9)
+	ctr := b.Static("ctr", 8, 8)
+	lock := b.AllocLock()
+	b.LoadArg(rIn, 0)
+	b.LoadArg(rOut, 1)
+	b.LoadArg(rM, 2)
+	b.LoadArg(rN, 3)
+	b.Lsri(rTPR, rN, 2) // tiles per row
+	b.Lsri(rTiles, rM, 2)
+	b.Mul(rTiles, rTiles, rTPR)
+
+	grab := func() {
+		// t = ctr++ under the mutex (the shared work queue).
+		b.MoviSym(rTmp, ctr, 0)
+		b.AcquireSpin(lock)
+		b.Lw(rT, rTmp, 0)
+		b.Addi(kbuild.R(10), rT, 1)
+		b.Sw(kbuild.R(10), rTmp, 0)
+		b.Release(lock)
+	}
+
+	switch mode {
+	case config.ModeScratchpad:
+		tile := b.Static("tile", 16*trnsTile*trnsTile*4, 8)
+		tileT := b.Static("tileT", 16*trnsTile*trnsTile*4, 8)
+		pT, pTT, rAddr, rV := kbuild.R(11), kbuild.R(12), kbuild.R(13), kbuild.R(14)
+		rRow := kbuild.R(15)
+		b.MoviSym(pT, tile, 0)
+		b.Muli(rTmp, kbuild.ID, trnsTile*trnsTile*4)
+		b.Add(pT, pT, rTmp)
+		b.MoviSym(pTT, tileT, 0)
+		b.Muli(rTmp, kbuild.ID, trnsTile*trnsTile*4)
+		b.Add(pTT, pTT, rTmp)
+
+		b.Label("work")
+		grab()
+		b.Jge(rT, rTiles, "done")
+		b.Div(rI0, rT, rTPR)
+		b.Rem(rJ0, rT, rTPR)
+		b.Lsli(rI0, rI0, 2)
+		b.Lsli(rJ0, rJ0, 2)
+		// Stage the 4 tile rows (16B each).
+		for r := int32(0); r < trnsTile; r++ {
+			b.Addi(rRow, rI0, r)
+			b.Mul(rAddr, rRow, rN)
+			b.Add(rAddr, rAddr, rJ0)
+			b.Lsli(rAddr, rAddr, 2)
+			b.Add(rAddr, rIn, rAddr)
+			if r > 0 {
+				b.Addi(rV, pT, r*trnsTile*4)
+				b.Ldmai(rV, rAddr, trnsTile*4)
+			} else {
+				b.Ldmai(pT, rAddr, trnsTile*4)
+			}
+		}
+		// Transpose within WRAM (fully unrolled).
+		for r := int32(0); r < trnsTile; r++ {
+			for c := int32(0); c < trnsTile; c++ {
+				b.Lw(rV, pT, (r*trnsTile+c)*4)
+				b.Sw(rV, pTT, (c*trnsTile+r)*4)
+			}
+		}
+		// Store the 4 transposed rows (columns of the source).
+		for c := int32(0); c < trnsTile; c++ {
+			b.Addi(rRow, rJ0, c)
+			b.Mul(rAddr, rRow, rM)
+			b.Add(rAddr, rAddr, rI0)
+			b.Lsli(rAddr, rAddr, 2)
+			b.Add(rAddr, rOut, rAddr)
+			if c > 0 {
+				b.Addi(rV, pTT, c*trnsTile*4)
+				b.Sdmai(rV, rAddr, trnsTile*4)
+			} else {
+				b.Sdmai(pTT, rAddr, trnsTile*4)
+			}
+		}
+		b.Jump("work")
+		b.Label("done")
+		b.Stop()
+
+	case config.ModeCache:
+		rAddr, rV, rRow, rSrc := kbuild.R(11), kbuild.R(12), kbuild.R(13), kbuild.R(14)
+		b.Label("work")
+		grab()
+		b.Jge(rT, rTiles, "done")
+		b.Div(rI0, rT, rTPR)
+		b.Rem(rJ0, rT, rTPR)
+		b.Lsli(rI0, rI0, 2)
+		b.Lsli(rJ0, rJ0, 2)
+		for r := int32(0); r < trnsTile; r++ {
+			for c := int32(0); c < trnsTile; c++ {
+				b.Addi(rRow, rI0, r)
+				b.Mul(rSrc, rRow, rN)
+				b.Add(rSrc, rSrc, rJ0)
+				b.Addi(rSrc, rSrc, c)
+				b.Lsli(rSrc, rSrc, 2)
+				b.Add(rSrc, rIn, rSrc)
+				b.Lw(rV, rSrc, 0)
+				b.Addi(rRow, rJ0, c)
+				b.Mul(rAddr, rRow, rM)
+				b.Add(rAddr, rAddr, rI0)
+				b.Addi(rAddr, rAddr, r)
+				b.Lsli(rAddr, rAddr, 2)
+				b.Add(rAddr, rOut, rAddr)
+				b.Sw(rV, rAddr, 0)
+			}
+		}
+		b.Jump("work")
+		b.Label("done")
+		b.Stop()
+
+	default:
+		return nil, fmt.Errorf("trns: unsupported mode %v", mode)
+	}
+	return b.Build()
+}
+
+func runTRNS(sys *host.System, p Params) error {
+	m, n := p.M, p.N
+	a := randI32s(m*n, 1<<16, p.Seed)
+
+	// Bands of rows per DPU; each DPU locally transposes its band into an
+	// N x bandRows matrix, and the host reassembles columns.
+	slices := ranges(m, sys.NumDPUs(), trnsTile)
+	outFull := make([]int32, n*m)
+	inOff := uint32(0)
+	for d, sl := range slices {
+		rows := sl[1] - sl[0]
+		if rows == 0 {
+			// Idle DPU: zero tiles.
+			if err := sys.WriteArgs(d, host.MRAMBaseAddr(0), host.MRAMBaseAddr(0), 0, uint32(n)); err != nil {
+				return err
+			}
+			continue
+		}
+		outOff := align8(inOff + uint32(4*rows*n))
+		if err := sys.CopyToMRAM(d, inOff, i32sToBytes(a[sl[0]*n:sl[1]*n])); err != nil {
+			return err
+		}
+		if err := sys.WriteArgs(d, host.MRAMBaseAddr(inOff),
+			host.MRAMBaseAddr(outOff), uint32(rows), uint32(n)); err != nil {
+			return err
+		}
+	}
+	if err := sys.Launch(); err != nil {
+		return err
+	}
+	sys.SetPhase(host.PhaseOutput)
+	for d, sl := range slices {
+		rows := sl[1] - sl[0]
+		if rows == 0 {
+			continue
+		}
+		outOff := align8(inOff + uint32(4*rows*n))
+		raw, err := sys.ReadMRAM(d, outOff, 4*rows*n)
+		if err != nil {
+			return err
+		}
+		local := bytesToI32s(raw) // n x rows, row-major
+		for j := 0; j < n; j++ {
+			copy(outFull[j*m+sl[0]:j*m+sl[1]], local[j*rows:(j+1)*rows])
+		}
+	}
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			if outFull[j*m+i] != a[i*n+j] {
+				return fmt.Errorf("TRNS: out[%d][%d] = %d, want %d", j, i, outFull[j*m+i], a[i*n+j])
+			}
+		}
+	}
+	return nil
+}

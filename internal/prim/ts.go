@@ -1,0 +1,335 @@
+package prim
+
+import (
+	"fmt"
+	"math"
+
+	"upim/internal/config"
+	"upim/internal/host"
+	"upim/internal/kbuild"
+	"upim/internal/linker"
+)
+
+// TS: time-series similarity search (SCRIMP-flavoured): for each query
+// window, slide over the series computing the squared-difference distance
+// and track the minimum and its position. Compute-bound and multiply-heavy
+// (Fig 5/9), with tasklets partitioning window positions and queries staged
+// once in WRAM.
+
+const (
+	tsChunkElems = 120 // series chunk per staging step (plus window overlap)
+	tsMaxWindow  = 8
+	tsMaxQueries = 64
+)
+
+func init() {
+	register(&Benchmark{
+		Name:  "TS",
+		About: "time-series motif search (2K elem., 64 queries in Table II)",
+		Params: func(s Scale) Params {
+			switch s {
+			case ScaleTiny:
+				return Params{N: 512, Queries: 8, Window: 8, Seed: 12}
+			case ScaleSmall:
+				return Params{N: 2 << 10, Queries: 32, Window: 8, Seed: 12}
+			default:
+				return Params{N: 2 << 10, Queries: 64, Window: 8, Seed: 12}
+			}
+		},
+		Build: buildTS,
+		Run:   runTS,
+	})
+}
+
+func buildTS(mode config.Mode) (*linker.Object, error) {
+	b := kbuild.New("ts-" + mode.String())
+	// args: 0=series 1=n 2=queries 3=nq 4=window 5=out (per tasklet x query
+	// [dist,idx] pairs at out + (ID*nq + q)*8)
+	rS, rN, rQ, rNQ, rM, rOut := kbuild.R(0), kbuild.R(1), kbuild.R(2), kbuild.R(3), kbuild.R(4), kbuild.R(5)
+	rWS, rWE, rTmp := kbuild.R(6), kbuild.R(7), kbuild.R(8)
+	best := b.Static("best", 16*tsMaxQueries*8, 8)
+	b.LoadArg(rS, 0)
+	b.LoadArg(rN, 1)
+	b.LoadArg(rQ, 2)
+	b.LoadArg(rNQ, 3)
+	b.LoadArg(rM, 4)
+	b.LoadArg(rOut, 5)
+	// DPUs handed an empty series slice (n < m) bail out immediately.
+	b.Jge(rN, rM, "active")
+	b.Stop()
+	b.Label("active")
+
+	// nWindows = n - m + 1; partition window starts.
+	b.Sub(rTmp, rN, rM)
+	b.Addi(rTmp, rTmp, 1)
+	b.TaskletRangeAligned(rWS, rWE, rTmp, kbuild.R(9), 2)
+
+	// Initialize my best[] to +inf.
+	pB, rQi := kbuild.R(9), kbuild.R(10)
+	b.MoviSym(pB, best, 0)
+	b.Muli(rTmp, kbuild.ID, tsMaxQueries*8)
+	b.Add(pB, pB, rTmp)
+	b.Movi(rQi, 0)
+	b.Movi(rTmp, math.MaxInt32)
+	b.Label("init")
+	b.Jge(rQi, rNQ, "init_done")
+	b.Lsli(kbuild.R(11), rQi, 3)
+	b.Add(kbuild.R(11), pB, kbuild.R(11))
+	b.Sw(rTmp, kbuild.R(11), 0)
+	b.Sw(kbuild.Zero, kbuild.R(11), 4)
+	b.Addi(rQi, rQi, 1)
+	b.Jump("init")
+	b.Label("init_done")
+
+	switch mode {
+	case config.ModeScratchpad:
+		qbuf := b.Static("qbuf", tsMaxQueries*tsMaxWindow*4, 8)
+		sbuf := b.Static("sbuf", 16*(tsChunkElems+tsMaxWindow)*4, 8)
+		bar := b.NewBarrier("bar")
+		// Tasklet 0 stages all queries once.
+		b.Jnei(kbuild.ID, 0, "qwait")
+		b.Mul(rTmp, rNQ, rM)
+		b.Lsli(rTmp, rTmp, 2)
+		b.MoviSym(kbuild.R(11), qbuf, 0)
+		b.Ldma(kbuild.R(11), rQ, rTmp)
+		b.Label("qwait")
+		b.Wait(bar, kbuild.R(11), kbuild.R(12), kbuild.R(13))
+
+		pSb := kbuild.R(11)
+		rCur, rElems, rBytes := kbuild.R(12), kbuild.R(13), kbuild.R(14)
+		rW, rDist, pQw, pSw, rJ := kbuild.R(15), kbuild.R(16), kbuild.R(17), kbuild.R(18), kbuild.R(19)
+		rD, rSv, rBest := kbuild.R(20), kbuild.R(21), kbuild.R(22)
+		b.MoviSym(pSb, sbuf, 0)
+		b.Muli(rTmp, kbuild.ID, (tsChunkElems+tsMaxWindow)*4)
+		b.Add(pSb, pSb, rTmp)
+
+		b.Mov(rCur, rWS)
+		b.Label("chunk")
+		b.Jge(rCur, rWE, "publish")
+		b.Sub(rElems, rWE, rCur)
+		b.Jlti(rElems, tsChunkElems, "sized")
+		b.Movi(rElems, tsChunkElems)
+		b.Label("sized")
+		// Stage elems + window series values (rounded up to even).
+		b.Add(rBytes, rElems, rM)
+		b.Addi(rBytes, rBytes, 1)
+		b.Andi(rBytes, rBytes, -2)
+		b.Lsli(rBytes, rBytes, 2)
+		b.Lsli(rTmp, rCur, 2)
+		b.Add(rTmp, rS, rTmp)
+		b.Ldma(pSb, rTmp, rBytes)
+		// for q in [0,nq): for w in [0,elems): dist over window.
+		b.Movi(rQi, 0)
+		b.Label("qloop")
+		b.Jge(rQi, rNQ, "chunk_next")
+		b.Mul(pQw, rQi, rM)
+		b.Lsli(pQw, pQw, 2)
+		b.MoviSym(rTmp, qbuf, 0)
+		b.Add(pQw, rTmp, pQw) // &q[qi][0]
+		b.Movi(rW, 0)
+		b.Label("wloop")
+		b.Jge(rW, rElems, "qnext")
+		b.Movi(rDist, 0)
+		b.Lsli(pSw, rW, 2)
+		b.Add(pSw, pSb, pSw) // &s[w]
+		b.Movi(rJ, 0)
+		b.Label("jloop")
+		b.Lw(rSv, pSw, 0)
+		b.Lsli(rD, rJ, 2)
+		b.Add(rD, pQw, rD)
+		b.Lw(rD, rD, 0)
+		b.Sub(rD, rSv, rD)
+		b.Mul(rD, rD, rD)
+		b.Add(rDist, rDist, rD)
+		b.Addi(pSw, pSw, 4)
+		b.Addi(rJ, rJ, 1)
+		b.Jlt(rJ, rM, "jloop")
+		// Track min.
+		b.Lsli(rTmp, rQi, 3)
+		b.Add(rTmp, pB, rTmp)
+		b.Lw(rBest, rTmp, 0)
+		b.Jge(rDist, rBest, "wnext")
+		b.Sw(rDist, rTmp, 0)
+		b.Add(rSv, rCur, rW)
+		b.Sw(rSv, rTmp, 4)
+		b.Label("wnext")
+		b.Addi(rW, rW, 1)
+		b.Jump("wloop")
+		b.Label("qnext")
+		b.Addi(rQi, rQi, 1)
+		b.Jump("qloop")
+		b.Label("chunk_next")
+		b.Add(rCur, rCur, rElems)
+		b.Jump("chunk")
+		// Publish my per-query bests.
+		b.Label("publish")
+		b.Mul(rTmp, rNQ, kbuild.ID)
+		b.Lsli(rTmp, rTmp, 3)
+		b.Add(rTmp, rOut, rTmp)
+		b.Lsli(rBytes, rNQ, 3)
+		b.Sdma(pB, rTmp, rBytes)
+		b.Stop()
+
+	case config.ModeCache:
+		rCur := kbuild.R(11)
+		rW, rDist, pQw, pSw, rJ := kbuild.R(12), kbuild.R(13), kbuild.R(14), kbuild.R(15), kbuild.R(16)
+		rD, rSv, rBest, pW := kbuild.R(17), kbuild.R(18), kbuild.R(19), kbuild.R(20)
+		b.Mov(rCur, rWS)
+		b.Label("wloop")
+		b.Jge(rCur, rWE, "publish")
+		b.Movi(rQi, 0)
+		b.Label("qloop")
+		b.Jge(rQi, rNQ, "wnext")
+		b.Mul(pQw, rQi, rM)
+		b.Lsli(pQw, pQw, 2)
+		b.Add(pQw, rQ, pQw)
+		b.Lsli(pSw, rCur, 2)
+		b.Add(pSw, rS, pSw)
+		b.Movi(rDist, 0)
+		b.Movi(rJ, 0)
+		b.Label("jloop")
+		b.Lw(rSv, pSw, 0)
+		b.Lw(rD, pQw, 0)
+		b.Sub(rD, rSv, rD)
+		b.Mul(rD, rD, rD)
+		b.Add(rDist, rDist, rD)
+		b.Addi(pSw, pSw, 4)
+		b.Addi(pQw, pQw, 4)
+		b.Addi(rJ, rJ, 1)
+		b.Jlt(rJ, rM, "jloop")
+		b.Lsli(rW, rQi, 3)
+		b.Add(pW, pB, rW)
+		b.Lw(rBest, pW, 0)
+		b.Jge(rDist, rBest, "qnext")
+		b.Sw(rDist, pW, 0)
+		b.Sw(rCur, pW, 4)
+		b.Label("qnext")
+		b.Addi(rQi, rQi, 1)
+		b.Jump("qloop")
+		b.Label("wnext")
+		b.Addi(rCur, rCur, 1)
+		b.Jump("wloop")
+		b.Label("publish")
+		// Direct stores of my per-query bests.
+		b.Mul(rTmp, rNQ, kbuild.ID)
+		b.Lsli(rTmp, rTmp, 3)
+		b.Add(rTmp, rOut, rTmp)
+		b.Movi(rQi, 0)
+		b.Label("pub")
+		b.Jge(rQi, rNQ, "fin")
+		b.Lsli(rW, rQi, 3)
+		b.Add(pW, pB, rW)
+		b.Lw(rD, pW, 0)
+		b.Sw(rD, rTmp, 0)
+		b.Lw(rD, pW, 4)
+		b.Sw(rD, rTmp, 4)
+		b.Addi(rTmp, rTmp, 8)
+		b.Addi(rQi, rQi, 1)
+		b.Jump("pub")
+		b.Label("fin")
+		b.Stop()
+
+	default:
+		return nil, fmt.Errorf("ts: unsupported mode %v", mode)
+	}
+	return b.Build()
+}
+
+func runTS(sys *host.System, p Params) error {
+	n, nq, m := p.N, p.Queries, p.Window
+	if nq > tsMaxQueries || m > tsMaxWindow {
+		return fmt.Errorf("ts: params exceed kernel capacity")
+	}
+	s := randI32s(n, 64, p.Seed)
+	q := randI32s(nq*m, 64, p.Seed+1)
+	nw := n - m + 1
+	nth := sys.Config().NumTasklets
+
+	// The series is partitioned by window position across DPUs (with window
+	// overlap); queries are replicated.
+	slices := ranges(nw, sys.NumDPUs(), 2)
+	for d, sl := range slices {
+		wcnt := sl[1] - sl[0]
+		scnt := 0
+		if wcnt > 0 {
+			scnt = wcnt + m - 1
+		}
+		sOff := uint32(0)
+		qOff := align8(uint32(4 * (scnt + 1)))
+		outOff := align8(qOff + uint32(4*nq*m))
+		if scnt > 0 {
+			if err := sys.CopyToMRAM(d, sOff, i32sToBytes(s[sl[0]:sl[0]+scnt])); err != nil {
+				return err
+			}
+		}
+		if err := sys.CopyToMRAM(d, qOff, i32sToBytes(q)); err != nil {
+			return err
+		}
+		// Kernel n' = local series length so nWindows' = wcnt.
+		if err := sys.WriteArgs(d, host.MRAMBaseAddr(sOff), uint32(scnt),
+			host.MRAMBaseAddr(qOff), uint32(nq), uint32(m),
+			host.MRAMBaseAddr(outOff)); err != nil {
+			return err
+		}
+	}
+	if err := sys.Launch(); err != nil {
+		return err
+	}
+
+	// Merge per-tasklet per-DPU candidates: (dist, global index), preferring
+	// smaller index on ties.
+	sys.SetPhase(host.PhaseOutput)
+	type cand struct{ dist, idx int32 }
+	bestOf := make([]cand, nq)
+	for i := range bestOf {
+		bestOf[i] = cand{math.MaxInt32, -1}
+	}
+	for d, sl := range slices {
+		wcnt := sl[1] - sl[0]
+		if wcnt == 0 {
+			continue
+		}
+		scnt := wcnt + m - 1
+		qOff := align8(uint32(4 * (scnt + 1)))
+		outOff := align8(qOff + uint32(4*nq*m))
+		raw, err := sys.ReadMRAM(d, outOff, nth*nq*8)
+		if err != nil {
+			return err
+		}
+		vals := bytesToI32s(raw)
+		for t := 0; t < nth; t++ {
+			for qi := 0; qi < nq; qi++ {
+				dist := vals[(t*nq+qi)*2]
+				idx := vals[(t*nq+qi)*2+1]
+				if dist == math.MaxInt32 {
+					continue
+				}
+				g := cand{dist, idx + int32(sl[0])}
+				cur := bestOf[qi]
+				if g.dist < cur.dist || (g.dist == cur.dist && g.idx < cur.idx) {
+					bestOf[qi] = g
+				}
+			}
+		}
+	}
+
+	// Golden.
+	for qi := 0; qi < nq; qi++ {
+		bd, bi := int32(math.MaxInt32), int32(-1)
+		for w := 0; w < nw; w++ {
+			var dist int32
+			for j := 0; j < m; j++ {
+				d := s[w+j] - q[qi*m+j]
+				dist += d * d
+			}
+			if dist < bd {
+				bd, bi = dist, int32(w)
+			}
+		}
+		if bestOf[qi].dist != bd || bestOf[qi].idx != bi {
+			return fmt.Errorf("TS: query %d best = (%d,%d), want (%d,%d)",
+				qi, bestOf[qi].dist, bestOf[qi].idx, bd, bi)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,168 @@
+package prim
+
+import (
+	"fmt"
+
+	"upim/internal/config"
+	"upim/internal/host"
+	"upim/internal/kbuild"
+	"upim/internal/linker"
+)
+
+// VA: element-wise vector addition, the paper's running example (Fig 2).
+// Scratchpad variant stages 128-element chunks of A and B through WRAM and
+// writes C back by DMA; cache variant streams directly through the D-cache.
+
+const vaChunkElems = 128
+
+func init() {
+	register(&Benchmark{
+		Name:  "VA",
+		About: "element-wise vector addition (1M elem. single-DPU in Table II)",
+		Params: func(s Scale) Params {
+			switch s {
+			case ScaleTiny:
+				return Params{N: 4 << 10, Seed: 1}
+			case ScaleSmall:
+				return Params{N: 64 << 10, Seed: 1}
+			default:
+				return Params{N: 1 << 20, Seed: 1}
+			}
+		},
+		Build: buildVA,
+		Run:   runVA,
+	})
+}
+
+func buildVA(mode config.Mode) (*linker.Object, error) {
+	b := kbuild.New("va-" + mode.String())
+	rA, rB, rC, rN := kbuild.R(0), kbuild.R(1), kbuild.R(2), kbuild.R(3)
+	rStart, rEnd, rTmp := kbuild.R(4), kbuild.R(5), kbuild.R(6)
+	b.LoadArg(rA, 0)
+	b.LoadArg(rB, 1)
+	b.LoadArg(rC, 2)
+	b.LoadArg(rN, 3)
+
+	switch mode {
+	case config.ModeScratchpad:
+		bufA := b.Static("bufA", 16*vaChunkElems*4, 8)
+		bufB := b.Static("bufB", 16*vaChunkElems*4, 8)
+		pA, pB := kbuild.R(7), kbuild.R(8)
+		rElems, rBytes, rOff, rMram := kbuild.R(9), kbuild.R(10), kbuild.R(11), kbuild.R(12)
+		pX, pY, pEndW, rX, rY := kbuild.R(13), kbuild.R(14), kbuild.R(15), kbuild.R(16), kbuild.R(17)
+
+		b.TaskletRangeAligned(rStart, rEnd, rN, rTmp, 2)
+		b.Muli(rTmp, kbuild.ID, vaChunkElems*4)
+		b.MoviSym(pA, bufA, 0)
+		b.Add(pA, pA, rTmp)
+		b.MoviSym(pB, bufB, 0)
+		b.Add(pB, pB, rTmp)
+
+		b.Label("chunk")
+		b.Jge(rStart, rEnd, "done")
+		b.Sub(rElems, rEnd, rStart)
+		b.Jlti(rElems, vaChunkElems, "sized")
+		b.Movi(rElems, vaChunkElems)
+		b.Label("sized")
+		b.Lsli(rBytes, rElems, 2)
+		b.Lsli(rOff, rStart, 2)
+		// Stage A and B chunks.
+		b.Add(rMram, rA, rOff)
+		b.Ldma(pA, rMram, rBytes)
+		b.Add(rMram, rB, rOff)
+		b.Ldma(pB, rMram, rBytes)
+		// c[i] = a[i] + b[i] over the staged chunk.
+		b.Mov(pX, pA)
+		b.Mov(pY, pB)
+		b.Add(pEndW, pA, rBytes)
+		b.Label("inner")
+		b.Lw(rX, pX, 0)
+		b.Lw(rY, pY, 0)
+		b.Add(rX, rX, rY)
+		b.Sw(rX, pX, 0)
+		b.Addi(pX, pX, 4)
+		b.Addi(pY, pY, 4)
+		b.Jlt(pX, pEndW, "inner")
+		// Write the result chunk.
+		b.Add(rMram, rC, rOff)
+		b.Sdma(pA, rMram, rBytes)
+		b.Add(rStart, rStart, rElems)
+		b.Jump("chunk")
+		b.Label("done")
+		b.Stop()
+
+	case config.ModeCache:
+		pA, pB, pC, pEnd := kbuild.R(7), kbuild.R(8), kbuild.R(9), kbuild.R(10)
+		rX, rY := kbuild.R(11), kbuild.R(12)
+		b.TaskletRangeAligned(rStart, rEnd, rN, rTmp, 2)
+		b.Lsli(rTmp, rStart, 2)
+		b.Add(pA, rA, rTmp)
+		b.Add(pB, rB, rTmp)
+		b.Add(pC, rC, rTmp)
+		b.Lsli(rTmp, rEnd, 2)
+		b.Add(pEnd, rA, rTmp)
+		b.Label("loop")
+		b.Jge(pA, pEnd, "done")
+		b.Lw(rX, pA, 0)
+		b.Lw(rY, pB, 0)
+		b.Add(rX, rX, rY)
+		b.Sw(rX, pC, 0)
+		b.Addi(pA, pA, 4)
+		b.Addi(pB, pB, 4)
+		b.Addi(pC, pC, 4)
+		b.Jump("loop")
+		b.Label("done")
+		b.Stop()
+
+	default:
+		return nil, fmt.Errorf("va: unsupported mode %v", mode)
+	}
+	return b.Build()
+}
+
+func runVA(sys *host.System, p Params) error {
+	n := p.N
+	a := randI32s(n, 1<<20, p.Seed)
+	bv := randI32s(n, 1<<20, p.Seed+1)
+	want := make([]int32, n)
+	for i := range want {
+		want[i] = a[i] + bv[i]
+	}
+
+	slices := ranges(n, sys.NumDPUs(), 2)
+	type layout struct{ aOff, bOff, cOff uint32 }
+	lay := make([]layout, sys.NumDPUs())
+	for d, r := range slices {
+		cnt := r[1] - r[0]
+		l := layout{}
+		l.aOff = 0
+		l.bOff = align8(l.aOff + uint32(4*cnt))
+		l.cOff = align8(l.bOff + uint32(4*cnt))
+		lay[d] = l
+		if err := sys.CopyToMRAM(d, l.aOff, i32sToBytes(a[r[0]:r[1]])); err != nil {
+			return err
+		}
+		if err := sys.CopyToMRAM(d, l.bOff, i32sToBytes(bv[r[0]:r[1]])); err != nil {
+			return err
+		}
+		if err := sys.WriteArgs(d,
+			host.MRAMBaseAddr(l.aOff), host.MRAMBaseAddr(l.bOff),
+			host.MRAMBaseAddr(l.cOff), uint32(cnt)); err != nil {
+			return err
+		}
+	}
+	if err := sys.Launch(); err != nil {
+		return err
+	}
+	sys.SetPhase(host.PhaseOutput)
+	got := make([]int32, 0, n)
+	for d, r := range slices {
+		cnt := r[1] - r[0]
+		raw, err := sys.ReadMRAM(d, lay[d].cOff, 4*cnt)
+		if err != nil {
+			return err
+		}
+		got = append(got, bytesToI32s(raw)...)
+	}
+	return checkI32s("VA", got, want)
+}

@@ -1,0 +1,155 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"upim/internal/isa"
+)
+
+func TestTLPBins(t *testing.T) {
+	cases := map[int]int{
+		0: 0, 1: 1, 4: 1, 5: 2, 8: 2, 9: 3, 12: 3, 13: 4, 16: 4, 17: 5, 24: 5,
+	}
+	for in, want := range cases {
+		if got := TLPBin(in); got != want {
+			t.Errorf("TLPBin(%d) = %d, want %d", in, got, want)
+		}
+	}
+	for b := 0; b < TLPBins; b++ {
+		if TLPBinLabel(b) == "" {
+			t.Errorf("bin %d unlabeled", b)
+		}
+	}
+}
+
+func TestQuickTLPBinMonotone(t *testing.T) {
+	f := func(a, b uint8) bool {
+		x, y := int(a%25), int(b%25)
+		if x > y {
+			x, y = y, x
+		}
+		return TLPBin(x) <= TLPBin(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBreakdownSumsToOne(t *testing.T) {
+	s := DPU{IssueSlots: 100, Issued: 60}
+	s.Idle[IdleMemory] = 25
+	s.Idle[IdleRevolver] = 10
+	s.Idle[IdleRF] = 5
+	a, b, c, d := s.Breakdown()
+	if sum := a + b + c + d; sum < 0.999 || sum > 1.001 {
+		t.Fatalf("breakdown sums to %f", sum)
+	}
+	if a != 0.6 || b != 0.25 || c != 0.1 || d != 0.05 {
+		t.Fatalf("breakdown = %v %v %v %v", a, b, c, d)
+	}
+}
+
+func TestRates(t *testing.T) {
+	s := DPU{Cycles: 1000, Instructions: 500}
+	if s.IPC() != 0.5 {
+		t.Fatal("IPC")
+	}
+	if s.ComputeUtilization(2) != 0.25 {
+		t.Fatal("compute utilization")
+	}
+	s.DRAM.BytesRead = 1000
+	if got := s.MemoryReadBandwidthUtilization(2); got != 0.5 {
+		t.Fatalf("mem util = %f", got)
+	}
+	s.IssuableSum = 8000
+	if s.AvgIssuable() != 8 {
+		t.Fatal("avg issuable")
+	}
+	var zero DPU
+	if zero.IPC() != 0 || zero.AvgIssuable() != 0 || zero.ComputeUtilization(0) != 0 {
+		t.Fatal("zero-value rates must be 0")
+	}
+}
+
+func TestMixFractions(t *testing.T) {
+	var s DPU
+	s.Instructions = 10
+	s.Mix[isa.ClassArith] = 6
+	s.Mix[isa.ClassSync] = 4
+	mix := s.MixFractions()
+	if mix[isa.ClassArith] != 0.6 || mix[isa.ClassSync] != 0.4 {
+		t.Fatalf("mix = %v", mix)
+	}
+}
+
+func TestDRAMRates(t *testing.T) {
+	d := DRAM{RowHits: 90, RowMisses: 5, RowEmpty: 5}
+	if d.RowHitRate() != 0.9 {
+		t.Fatalf("hit rate = %f", d.RowHitRate())
+	}
+	if d.Activations() != 10 {
+		t.Fatalf("activations = %d", d.Activations())
+	}
+	var z DRAM
+	if z.RowHitRate() != 0 {
+		t.Fatal("empty hit rate must be 0")
+	}
+}
+
+func TestCacheHitRate(t *testing.T) {
+	c := Cache{Hits: 70, Misses: 20, MSHRMerges: 10}
+	if c.HitRate() != 0.8 {
+		t.Fatalf("hit rate = %f (merges count as hits)", c.HitRate())
+	}
+}
+
+func TestAddAggregates(t *testing.T) {
+	a := DPU{Cycles: 100, Instructions: 50, IssueSlots: 100, Issued: 50}
+	a.Mix[isa.ClassArith] = 50
+	a.TLPHist[2] = 7
+	a.DRAM.BytesRead = 10
+	a.AcquireOK = 3
+	b := DPU{Cycles: 200, Instructions: 75, IssueSlots: 200, Issued: 75}
+	b.DRAM.BytesRead = 30
+	b.MMU.TLBHits = 9
+
+	var agg DPU
+	agg.Add(&a)
+	agg.Add(&b)
+	if agg.Cycles != 200 { // max, not sum: DPUs run in parallel
+		t.Fatalf("cycles = %d", agg.Cycles)
+	}
+	if agg.Instructions != 125 || agg.DRAM.BytesRead != 40 ||
+		agg.Mix[isa.ClassArith] != 50 || agg.TLPHist[2] != 7 ||
+		agg.AcquireOK != 3 || agg.MMU.TLBHits != 9 {
+		t.Fatalf("agg = %+v", agg)
+	}
+}
+
+func TestSummaryMentionsKeyFields(t *testing.T) {
+	var s DPU
+	s.Cycles = 10
+	s.Instructions = 5
+	s.IssueSlots = 10
+	s.Issued = 5
+	s.AcquireOK = 2
+	s.AcquireFail = 1
+	s.MMU.TLBHits = 3
+	s.DCache.Hits = 4
+	out := s.Summary()
+	for _, want := range []string{"cycles", "IPC", "instruction mix", "DRAM", "locks", "MMU", "caches"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestIdleReasonStrings(t *testing.T) {
+	if IdleMemory.String() != "Idle(Memory)" ||
+		IdleRevolver.String() != "Idle(Revolver)" ||
+		IdleRF.String() != "Idle(RF)" {
+		t.Fatal("idle reason labels wrong")
+	}
+}

@@ -1,0 +1,146 @@
+// Package upim is uPIMulator-Go: a cycle-level simulation framework for
+// UPMEM-style general-purpose processing-in-memory systems, reproducing
+// "Pathfinding Future PIM Architectures by Demystifying a Commercial PIM
+// Technology" (HPCA 2024).
+//
+// The package is a facade over the internal toolchain:
+//
+//   - Assemble/Link turn UPMEM-style assembly into loadable DPU programs
+//     (the paper's custom lexer/parser/assembler/linker).
+//   - NewKernel starts the typed kernel builder used by the PrIM suite.
+//   - NewSystem allocates a host plus a set of simulated DPUs and runs
+//     kernels under the Table I microarchitecture model: revolver
+//     scheduling, odd/even register-file hazards, WRAM/IRAM scratchpads,
+//     a DDR4-2400 MRAM bank with FR-FCFS, and asymmetric CPU<->DPU links.
+//   - RunBenchmark executes one of the 16 PrIM workloads with golden-model
+//     verification; RunExperiment regenerates any of the paper's tables
+//     and figures.
+//
+// Case-study hardware is a configuration away: Config.WithILP("DRSF") for
+// the Fig 12 ILP ladder, Mode = ModeCache for the on-demand-cache design,
+// Mode = ModeSIMT (+ SIMTCoalesce) for the vector engine, MMU.Enable for
+// address translation.
+package upim
+
+import (
+	"upim/internal/asm"
+	"upim/internal/config"
+	"upim/internal/figures"
+	"upim/internal/host"
+	"upim/internal/kbuild"
+	"upim/internal/linker"
+	"upim/internal/mem"
+	"upim/internal/prim"
+	"upim/internal/stats"
+)
+
+// Config is the full DPU/system hardware configuration (defaults = the
+// paper's Table I).
+type Config = config.Config
+
+// Mode selects the memory-system organisation.
+type Mode = config.Mode
+
+// Memory-system organisations.
+const (
+	ModeScratchpad = config.ModeScratchpad
+	ModeCache      = config.ModeCache
+	ModeSIMT       = config.ModeSIMT
+)
+
+// DefaultConfig returns the paper's Table I configuration.
+func DefaultConfig() Config { return config.Default() }
+
+// Object is an unlinked compilation unit; Program is a linked DPU image.
+type (
+	Object  = linker.Object
+	Program = linker.Program
+)
+
+// Assemble lowers UPMEM-style assembly source into an Object.
+func Assemble(name, src string) (*Object, error) { return asm.Assemble(name, src) }
+
+// Link lays out and validates an Object for a configuration.
+func Link(obj *Object, cfg Config) (*Program, error) { return linker.Link(obj, cfg) }
+
+// KernelBuilder is the typed macro-assembler for writing kernels in Go.
+type KernelBuilder = kbuild.Builder
+
+// NewKernel starts a kernel builder.
+func NewKernel(name string) *KernelBuilder { return kbuild.New(name) }
+
+// System is a host CPU plus a set of simulated DPUs.
+type System = host.System
+
+// Report is the phase-bucketed timing model of a run (Fig 10's buckets).
+type Report = host.Report
+
+// Transfer-accounting phases.
+const (
+	PhaseInput    = host.PhaseInput
+	PhaseOutput   = host.PhaseOutput
+	PhaseExchange = host.PhaseExchange
+)
+
+// Stats is the per-DPU statistics record (utilization, idle breakdown,
+// instruction mix, DRAM/cache/MMU counters).
+type Stats = stats.DPU
+
+// NewSystem links obj under cfg and allocates n DPUs.
+func NewSystem(obj *Object, cfg Config, n int) (*System, error) {
+	return host.NewSystem(obj, cfg, n)
+}
+
+// MRAMBase converts an MRAM bank offset into the absolute physical address
+// kernels use (the paper's 0x08000000 MRAM window).
+func MRAMBase(off uint32) uint32 { return mem.MRAMBase + off }
+
+// Scale selects dataset sizes for benchmarks and experiments.
+type Scale = prim.Scale
+
+// Dataset scales.
+const (
+	ScaleTiny  = prim.ScaleTiny
+	ScaleSmall = prim.ScaleSmall
+	ScalePaper = prim.ScalePaper
+)
+
+// BenchmarkResult is one verified PrIM run.
+type BenchmarkResult = prim.Result
+
+// Benchmarks lists the PrIM suite in Table II order.
+func Benchmarks() []string {
+	var out []string
+	for _, b := range prim.Benchmarks() {
+		out = append(out, b.Name)
+	}
+	return out
+}
+
+// RunBenchmark executes one PrIM workload on n DPUs and verifies its output
+// against the host golden model.
+func RunBenchmark(name string, cfg Config, nDPUs int, scale Scale) (*BenchmarkResult, error) {
+	return prim.Run(name, cfg, nDPUs, scale)
+}
+
+// Experiment regenerates one of the paper's tables or figures.
+type Experiment = figures.Experiment
+
+// ExperimentOptions parameterize RunExperiment.
+type ExperimentOptions = figures.Options
+
+// ResultTable is a printable experiment result.
+type ResultTable = figures.Table
+
+// Experiments lists every reproducible table/figure.
+func Experiments() []Experiment { return figures.Experiments() }
+
+// RunExperiment regenerates one table/figure by ID (e.g. "fig5", "fig12",
+// "mmu", "table1").
+func RunExperiment(id string, opts ExperimentOptions) (*ResultTable, error) {
+	e, err := figures.ByID(id)
+	if err != nil {
+		return nil, err
+	}
+	return e.Run(opts)
+}

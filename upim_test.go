@@ -1,0 +1,95 @@
+package upim_test
+
+import (
+	"strings"
+	"testing"
+
+	"upim"
+)
+
+func TestFacadeAssembleLinkRun(t *testing.T) {
+	src := `
+        movi r0, 7
+        lsl  r1, id, 2
+        movi r2, out
+        add  r2, r2, r1
+        add  r0, r0, id
+        sw   r0, r2, 0
+        stop
+.alloc out 128
+`
+	obj, err := upim.Assemble("facade", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := upim.DefaultConfig()
+	cfg.NumTasklets = 8
+	sys, err := upim.NewSystem(obj, cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Launch(); err != nil {
+		t.Fatal(err)
+	}
+	addr, err := sys.Program().SymbolAddr("out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := sys.ReadWRAM(1, addr, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		got := uint32(raw[4*i]) | uint32(raw[4*i+1])<<8
+		if got != uint32(7+i) {
+			t.Fatalf("out[%d] = %d, want %d", i, got, 7+i)
+		}
+	}
+}
+
+func TestFacadeBenchmarksList(t *testing.T) {
+	names := upim.Benchmarks()
+	if len(names) != 16 {
+		t.Fatalf("suite has %d benchmarks, want 16", len(names))
+	}
+	if names[0] != "BFS" || names[15] != "VA" {
+		t.Fatalf("unexpected ordering: %v", names)
+	}
+}
+
+func TestFacadeRunBenchmark(t *testing.T) {
+	cfg := upim.DefaultConfig()
+	cfg.NumTasklets = 4
+	res, err := upim.RunBenchmark("RED", cfg, 2, upim.ScaleTiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Instructions == 0 || res.Report.Total() <= 0 {
+		t.Fatal("empty result")
+	}
+}
+
+func TestFacadeExperiments(t *testing.T) {
+	if len(upim.Experiments()) != 16 {
+		t.Fatalf("expected 16 experiments, got %d", len(upim.Experiments()))
+	}
+	tab, err := upim.RunExperiment("table1", upim.ExperimentOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	tab.Fprint(&sb)
+	if !strings.Contains(sb.String(), "350 MHz") {
+		t.Fatal("Table I missing the DPU frequency")
+	}
+	if _, err := upim.RunExperiment("nope", upim.ExperimentOptions{}); err == nil {
+		t.Fatal("unknown experiment must error")
+	}
+}
+
+func TestFacadeILPConfig(t *testing.T) {
+	cfg := upim.DefaultConfig().WithILP("DRSF")
+	if !cfg.Forwarding || !cfg.UnifiedRF || cfg.IssueWidth != 2 || cfg.FreqMHz != 700 {
+		t.Fatalf("WithILP wrong: %+v", cfg)
+	}
+}
