@@ -1,0 +1,18 @@
+GO ?= go
+
+.PHONY: build test bench fmt vet
+
+build:
+	$(GO) build ./...
+
+test: fmt vet
+	$(GO) test ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...

@@ -11,9 +11,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"upim"
@@ -24,6 +26,7 @@ func main() {
 		exp   = flag.String("exp", "all", "experiment id (see -list) or 'all'")
 		scale = flag.String("scale", "tiny", "dataset scale: tiny, small or paper")
 		bench = flag.String("bench", "", "comma-separated benchmark subset (default: all 16)")
+		jobs  = flag.Int("jobs", 0, "concurrent simulation points (0 = GOMAXPROCS)")
 		list  = flag.Bool("list", false, "list available experiments")
 	)
 	flag.Parse()
@@ -34,15 +37,20 @@ func main() {
 		}
 		return
 	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	opts := upim.ExperimentOptions{
-		Scale: map[string]upim.Scale{"tiny": upim.ScaleTiny, "small": upim.ScaleSmall, "paper": upim.ScalePaper}[*scale],
+		Scale:       map[string]upim.Scale{"tiny": upim.ScaleTiny, "small": upim.ScaleSmall, "paper": upim.ScalePaper}[*scale],
+		Parallelism: *jobs,
 	}
 	if *bench != "" {
 		opts.Benchmarks = strings.Split(*bench, ",")
 	}
 
 	run := func(id string) {
-		tab, err := upim.RunExperiment(id, opts)
+		tab, err := upim.RunExperimentContext(ctx, id, opts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "figures: %s: %v\n", id, err)
 			os.Exit(1)

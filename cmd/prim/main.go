@@ -1,12 +1,17 @@
 // Command prim runs the PrIM benchmark suite (all 16 workloads) and prints a
 // one-line summary per benchmark — the quickest way to see the suite's
 // compute-vs-memory-bound split (Section IV-A).
+//
+// The suite runs concurrently on the Runner's worker pool; Ctrl-C cancels
+// in-flight simulations.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"upim"
 )
@@ -17,29 +22,64 @@ func main() {
 		dpus    = flag.Int("dpus", 1, "number of DPUs")
 		cache   = flag.Bool("cache", false, "use the cache-centric memory model")
 		scale   = flag.String("scale", "tiny", "dataset scale: tiny, small or paper")
+		jobs    = flag.Int("jobs", 0, "concurrent simulation points (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
-	sc := map[string]upim.Scale{"tiny": upim.ScaleTiny, "small": upim.ScaleSmall, "paper": upim.ScalePaper}[*scale]
-	cfg := upim.DefaultConfig()
-	cfg.NumTasklets = *threads
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	sc, ok := map[string]upim.Scale{"tiny": upim.ScaleTiny, "small": upim.ScaleSmall, "paper": upim.ScalePaper}[*scale]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "prim: unknown scale %q\n", *scale)
+		os.Exit(1)
+	}
+	opts := []upim.RunnerOption{
+		upim.WithTasklets(*threads),
+		upim.WithDPUs(*dpus),
+		upim.WithScale(sc),
+	}
 	if *cache {
-		cfg.Mode = upim.ModeCache
+		opts = append(opts, upim.WithMode(upim.ModeCache))
+	}
+	if *jobs > 0 {
+		opts = append(opts, upim.WithParallelism(*jobs))
+	}
+	r, err := upim.NewRunner(opts...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "prim:", err)
+		os.Exit(1)
+	}
+
+	names := upim.Benchmarks()
+	points := make([]upim.Point, len(names))
+	for i, name := range names {
+		points[i] = upim.Point{Benchmark: name}
+	}
+	results := make([]upim.SweepResult, len(points))
+	done := make([]bool, len(points))
+	for sr := range r.Sweep(ctx, points) {
+		results[sr.Index] = sr
+		done[sr.Index] = true
 	}
 
 	fmt.Printf("%-10s %12s %10s %8s %10s %12s\n",
 		"benchmark", "instructions", "cycles", "IPC", "DRAM MB", "verified")
 	failed := 0
-	for _, name := range upim.Benchmarks() {
-		res, err := upim.RunBenchmark(name, cfg, *dpus, sc)
-		if err != nil {
-			fmt.Printf("%-10s %s\n", name, err)
+	for i, name := range names {
+		switch {
+		case !done[i]:
+			fmt.Printf("%-10s cancelled\n", name)
 			failed++
-			continue
+		case results[i].Err != nil:
+			fmt.Printf("%-10s %s\n", name, results[i].Err)
+			failed++
+		default:
+			res := results[i].Result
+			fmt.Printf("%-10s %12d %10d %8.3f %10.2f %12s\n",
+				name, res.Stats.Instructions, res.Stats.Cycles, res.Stats.IPC(),
+				float64(res.Stats.DRAM.BytesRead)/1e6, "PASS")
 		}
-		fmt.Printf("%-10s %12d %10d %8.3f %10.2f %12s\n",
-			name, res.Stats.Instructions, res.Stats.Cycles, res.Stats.IPC(),
-			float64(res.Stats.DRAM.BytesRead)/1e6, "PASS")
 	}
 	if failed > 0 {
 		os.Exit(1)

@@ -8,9 +8,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"upim"
@@ -28,8 +30,15 @@ func main() {
 	)
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	cfg := upim.DefaultConfig()
-	cfg.NumTasklets = *threads
+	if *mmu {
+		cfg.MMU.Enable = true
+		cfg.MMU.Prefault = false
+	}
+	tasklets := *threads
 	switch *mode {
 	case "scratchpad":
 		cfg.Mode = upim.ModeScratchpad
@@ -37,17 +46,16 @@ func main() {
 		cfg.Mode = upim.ModeCache
 	case "simt":
 		cfg.Mode = upim.ModeSIMT
-		cfg.NumTasklets = 16 * 16
 		cfg.SIMTCoalesce = true
+		tasklets = 16 * 16
 	default:
 		fatal(fmt.Errorf("unknown mode %q", *mode))
 	}
-	if *ilp != "" {
-		cfg = cfg.WithILP(*ilp)
-	}
-	if *mmu {
-		cfg.MMU.Enable = true
-		cfg.MMU.Prefault = false
+	opts := []upim.RunnerOption{
+		upim.WithConfig(cfg),
+		upim.WithTasklets(tasklets),
+		upim.WithDPUs(*dpus),
+		upim.WithILP(*ilp),
 	}
 	var sc upim.Scale
 	switch *scale {
@@ -60,8 +68,13 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown scale %q", *scale))
 	}
+	opts = append(opts, upim.WithScale(sc))
 
-	res, err := upim.RunBenchmark(*kernel, cfg, *dpus, sc)
+	r, err := upim.NewRunner(opts...)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := r.Run(ctx, *kernel)
 	if err != nil {
 		fatal(err)
 	}

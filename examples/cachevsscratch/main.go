@@ -4,10 +4,14 @@
 // opposite — explicit DMA staging beats the cache. Neither design wins
 // everywhere, which is the paper's point.
 //
+// The four (benchmark x mode) points run concurrently through Runner.Sweep,
+// with the memory model selected per point via option overrides.
+//
 // Run with: go run ./examples/cachevsscratch
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -15,17 +19,38 @@ import (
 )
 
 func main() {
-	for _, name := range []string{"BS", "UNI"} {
+	r, err := upim.NewRunner(
+		upim.WithTasklets(16),
+		upim.WithScale(upim.ScaleSmall),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	names := []string{"BS", "UNI"}
+	modes := []upim.Mode{upim.ModeScratchpad, upim.ModeCache}
+	var points []upim.Point
+	for _, name := range names {
+		for _, mode := range modes {
+			points = append(points, upim.Point{
+				Benchmark: name,
+				Options:   []upim.RunnerOption{upim.WithMode(mode)},
+			})
+		}
+	}
+	results := make([]*upim.Result, len(points))
+	for sr := range r.Sweep(context.Background(), points) {
+		if sr.Err != nil {
+			log.Fatal(sr.Err)
+		}
+		results[sr.Index] = sr.Result
+	}
+
+	for i, name := range names {
 		fmt.Printf("=== %s (16 tasklets, small scale) ===\n", name)
 		var spadCycles, spadBytes, cacheCycles, cacheBytes float64
-		for _, mode := range []upim.Mode{upim.ModeScratchpad, upim.ModeCache} {
-			cfg := upim.DefaultConfig()
-			cfg.NumTasklets = 16
-			cfg.Mode = mode
-			res, err := upim.RunBenchmark(name, cfg, 1, upim.ScaleSmall)
-			if err != nil {
-				log.Fatal(err)
-			}
+		for j, mode := range modes {
+			res := results[i*len(modes)+j]
 			fmt.Printf("  %-11s %10d cycles, %8.2f MB read from DRAM", mode, res.Stats.Cycles,
 				float64(res.Stats.DRAM.BytesRead)/1e6)
 			if mode == upim.ModeCache {

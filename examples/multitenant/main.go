@@ -20,6 +20,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -85,14 +86,22 @@ func main() {
 	fmt.Println("     spatially local, exactly as the paper observes.")
 }
 
-func runTenant(name string, mmu bool) *upim.BenchmarkResult {
+func runTenant(name string, mmu bool) *upim.Result {
 	cfg := upim.DefaultConfig()
-	cfg.NumTasklets = 16
 	if mmu {
 		cfg.MMU.Enable = true
 		cfg.MMU.Prefault = false
 	}
-	res, err := upim.RunBenchmark(name, cfg, 2, upim.ScaleSmall)
+	r, err := upim.NewRunner(
+		upim.WithConfig(cfg),
+		upim.WithTasklets(16),
+		upim.WithDPUs(2),
+		upim.WithScale(upim.ScaleSmall),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := r.Run(context.Background(), name)
 	if err != nil {
 		log.Fatal(err)
 	}

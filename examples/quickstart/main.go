@@ -7,9 +7,11 @@
 package main
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"log"
+	"time"
 
 	"upim"
 )
@@ -100,10 +102,14 @@ func main() {
 		bOff = 4 * n
 		cOff = 8 * n
 	)
+	// Launches take a context, so a stuck kernel can be cancelled or
+	// deadline-bounded instead of running to the cycle watchdog.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
 	must(sys.CopyToMRAM(0, aOff, a))
 	must(sys.CopyToMRAM(0, bOff, b))
 	must(sys.WriteArgs(0, upim.MRAMBase(aOff), upim.MRAMBase(bOff), upim.MRAMBase(cOff), n))
-	must(sys.Launch())
+	must(sys.Launch(ctx))
 
 	sys.SetPhase(upim.PhaseOutput)
 	out, err := sys.ReadMRAM(0, cOff, 4*n)

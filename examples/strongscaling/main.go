@@ -4,36 +4,61 @@
 // becomes the wall, and BS/BFS/NW scale sub-linearly because their
 // communication grows with the DPU count.
 //
+// The 16 (benchmark x DPUs) points run concurrently through Runner.Sweep,
+// and each benchmark's kernel is assembled and linked once for all four DPU
+// counts.
+//
 // Run with: go run ./examples/strongscaling
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"upim"
 )
 
-func main() {
-	cfg := upim.DefaultConfig()
-	cfg.NumTasklets = 16
+var (
+	names     = []string{"VA", "RED", "BS", "BFS"}
+	dpuCounts = []int{1, 4, 16, 64}
+)
 
-	for _, name := range []string{"VA", "RED", "BS", "BFS"} {
+func main() {
+	r, err := upim.NewRunner(
+		upim.WithTasklets(16),
+		upim.WithScale(upim.ScaleSmall),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var points []upim.Point
+	for _, name := range names {
+		for _, dpus := range dpuCounts {
+			points = append(points, upim.Point{Benchmark: name, DPUs: dpus})
+		}
+	}
+
+	// Results stream in completion order; collect by index to print in
+	// declaration order.
+	results := make([]*upim.Result, len(points))
+	for sr := range r.Sweep(context.Background(), points) {
+		if sr.Err != nil {
+			log.Fatal(sr.Err)
+		}
+		results[sr.Index] = sr.Result
+	}
+
+	for i, name := range names {
 		fmt.Printf("=== %s ===\n", name)
 		fmt.Printf("%6s %12s %12s %12s %12s %10s\n",
 			"DPUs", "kernel ms", "cpu->dpu ms", "dpu->cpu ms", "dpu<->dpu ms", "speedup")
-		var base float64
-		for _, dpus := range []int{1, 4, 16, 64} {
-			res, err := upim.RunBenchmark(name, cfg, dpus, upim.ScaleSmall)
-			if err != nil {
-				log.Fatal(err)
-			}
+		base := results[i*len(dpuCounts)].Report.Total()
+		for _, res := range results[i*len(dpuCounts) : (i+1)*len(dpuCounts)] {
 			total := res.Report.Total()
-			if dpus == 1 {
-				base = total
-			}
 			fmt.Printf("%6d %12.3f %12.3f %12.3f %12.3f %9.2fx\n",
-				dpus,
+				res.DPUs,
 				res.Report.KernelSeconds*1e3,
 				res.Report.TransferSeconds[0]*1e3,
 				res.Report.TransferSeconds[1]*1e3,
@@ -42,4 +67,6 @@ func main() {
 		}
 		fmt.Println()
 	}
+	cs := r.CacheStats()
+	fmt.Printf("(%d points, %d kernel builds, %d cache hits)\n", len(points), cs.Builds, cs.Hits)
 }

@@ -1,0 +1,3 @@
+module upim
+
+go 1.24

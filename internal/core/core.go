@@ -20,6 +20,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 
@@ -259,16 +261,35 @@ func (d *DPU) Relaunch() {
 	}
 }
 
+// ErrWatchdogExpired reports a kernel that exceeded its cycle budget
+// (deadlock or runaway kernel). Match with errors.Is.
+var ErrWatchdogExpired = errors.New("watchdog expired")
+
+// ctxCheckInterval is how many simulated cycles pass between context-
+// cancellation polls: frequent enough that cancelling a hung kernel returns
+// promptly, rare enough to keep the poll off the hot path.
+const ctxCheckInterval = 1 << 13
+
 // Run executes the kernel to completion (all tasklets stopped), bounded by
 // a budget of maxCycles beyond the current clock as a runaway/deadlock
-// watchdog.
-func (d *DPU) Run(maxCycles uint64) error {
+// watchdog. Cancelling ctx aborts the run with ctx.Err().
+func (d *DPU) Run(ctx context.Context, maxCycles uint64) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	deadline := d.cycle + maxCycles
 	if d.cfg.Mode == config.ModeSIMT {
-		return d.runSIMT(deadline)
+		return d.runSIMT(ctx, deadline)
 	}
 	width := d.cfg.IssueWidth
+	nextCtxCheck := d.cycle + ctxCheckInterval
 	for d.cycle < deadline {
+		if d.cycle >= nextCtxCheck {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			nextCtxCheck = d.cycle + ctxCheckInterval
+		}
 		now := d.nowTick()
 		if d.bank.Pending() > 0 {
 			d.bank.Advance(now, d.onBurst)
@@ -313,7 +334,7 @@ func (d *DPU) Run(maxCycles uint64) error {
 			d.fastForward(deadline, memN, revN)
 		}
 	}
-	return fmt.Errorf("core: dpu %d exceeded the %d-cycle watchdog (deadlock or runaway kernel?)", d.id, maxCycles)
+	return fmt.Errorf("core: dpu %d exceeded the %d-cycle watchdog (deadlock or runaway kernel?): %w", d.id, maxCycles, ErrWatchdogExpired)
 }
 
 // census wakes nothing; it classifies threads at the top of the cycle and

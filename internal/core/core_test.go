@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"strings"
@@ -19,7 +20,7 @@ const testWatchdog = 50_000_000
 func buildRun(t *testing.T, obj *linker.Object, cfg config.Config, setup func(*DPU)) *DPU {
 	t.Helper()
 	d := buildDPU(t, obj, cfg, setup)
-	if err := d.Run(testWatchdog); err != nil {
+	if err := d.Run(context.Background(), testWatchdog); err != nil {
 		t.Fatalf("Run: %v", err)
 	}
 	return d
@@ -464,7 +465,7 @@ func TestFaults(t *testing.T) {
 			cfg := config.Default()
 			cfg.NumTasklets = 1
 			d := buildDPU(t, c.build(), cfg, nil)
-			err := d.Run(testWatchdog)
+			err := d.Run(context.Background(), testWatchdog)
 			if err == nil || !strings.Contains(err.Error(), c.sub) {
 				t.Fatalf("err = %v, want substring %q", err, c.sub)
 			}
@@ -484,7 +485,7 @@ func TestWatchdogCatchesInfiniteLoop(t *testing.T) {
 	cfg := config.Default()
 	cfg.NumTasklets = 1
 	d := buildDPU(t, b.MustBuild(), cfg, nil)
-	if err := d.Run(10_000); err == nil || !strings.Contains(err.Error(), "watchdog") {
+	if err := d.Run(context.Background(), 10_000); err == nil || !strings.Contains(err.Error(), "watchdog") {
 		t.Fatalf("err = %v, want watchdog", err)
 	}
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -99,7 +100,7 @@ func TestQuickALUAgainstInterpreter(t *testing.T) {
 			t.Log(err)
 			return false
 		}
-		if err := d.Run(1_000_000); err != nil {
+		if err := d.Run(context.Background(), 1_000_000); err != nil {
 			t.Log(err)
 			return false
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"upim/internal/isa"
@@ -55,8 +56,15 @@ func (w *warp) runnableLanes() (minPC uint16, active []*thread, alive int) {
 	return minPC, active, alive
 }
 
-func (d *DPU) runSIMT(deadline uint64) error {
+func (d *DPU) runSIMT(ctx context.Context, deadline uint64) error {
+	nextCtxCheck := d.cycle + ctxCheckInterval
 	for d.cycle < deadline {
+		if d.cycle >= nextCtxCheck {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			nextCtxCheck = d.cycle + ctxCheckInterval
+		}
 		if d.bank.Pending() > 0 {
 			d.bank.Advance(d.nowTick(), d.onBurst)
 		}
@@ -90,7 +98,7 @@ func (d *DPU) runSIMT(deadline uint64) error {
 		}
 		d.cycle++
 	}
-	return fmt.Errorf("core: dpu %d exceeded its cycle watchdog in SIMT mode (deadline %d)", d.id, deadline)
+	return fmt.Errorf("core: dpu %d exceeded its cycle watchdog in SIMT mode (deadline %d): %w", d.id, deadline, ErrWatchdogExpired)
 }
 
 func (d *DPU) simtCensus() (issuableWarps, issuableLanes, memN, revN, alive int) {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"encoding/binary"
 	"strings"
 	"testing"
@@ -183,7 +184,7 @@ func TestSIMTRejectsDMAAndLocks(t *testing.T) {
 	b.Stop()
 	cfg := simtConfig(16)
 	d := buildDPU(t, b.MustBuild(), cfg, nil)
-	err := d.Run(testWatchdog)
+	err := d.Run(context.Background(), testWatchdog)
 	if err == nil || !strings.Contains(err.Error(), "not supported by the SIMT") {
 		t.Fatalf("err = %v, want SIMT DMA rejection", err)
 	}

@@ -1,0 +1,169 @@
+// Package engine is the concurrent sweep engine behind upim.Runner and the
+// figure drivers: it executes many simulation points — (benchmark, config,
+// #DPUs, scale) tuples — on a bounded worker pool, streams results as they
+// finish, and shares one build cache so every unique kernel is assembled and
+// linked exactly once per sweep, no matter how many points reuse it.
+//
+// Sweep-style characterization is the workhorse methodology of both the
+// source paper and PrIM (Gómez-Luna et al.), so the engine is deliberately
+// small and reusable: the public Runner facade, the internal/figures
+// experiment drivers, and the commands all run on it.
+package engine
+
+import (
+	"context"
+	"runtime"
+	"sync"
+
+	"upim/internal/config"
+	"upim/internal/prim"
+)
+
+// Point is one simulation point of a sweep.
+type Point struct {
+	Benchmark string
+	Config    config.Config
+	DPUs      int
+	Scale     prim.Scale
+	// Watchdog bounds this point's per-DPU launch cycles (0 = the engine's
+	// watchdog, or the host default).
+	Watchdog uint64
+}
+
+// Outcome is the result of one point. Index identifies the originating
+// point in the Sweep input slice (outcomes stream in completion order, not
+// submission order).
+type Outcome struct {
+	Point  Point
+	Index  int
+	Result *prim.Result
+	Err    error
+}
+
+// Engine runs simulation points concurrently with shared kernel builds.
+type Engine struct {
+	parallelism int
+	watchdog    uint64
+	cache       *prim.BuildCache
+}
+
+// New returns an engine running at most parallelism points concurrently
+// (<= 0 selects GOMAXPROCS).
+func New(parallelism int) *Engine {
+	return NewWithCache(parallelism, prim.NewBuildCache())
+}
+
+// NewWithCache returns an engine like New but backed by an existing build
+// cache, so engines with different parallelism bounds can share kernel
+// builds.
+func NewWithCache(parallelism int, cache *prim.BuildCache) *Engine {
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	return &Engine{parallelism: parallelism, cache: cache}
+}
+
+// SetWatchdog bounds each launch's per-DPU cycles for all subsequent runs
+// (0 restores the host default).
+func (e *Engine) SetWatchdog(cycles uint64) { e.watchdog = cycles }
+
+// Parallelism returns the worker-pool bound.
+func (e *Engine) Parallelism() int { return e.parallelism }
+
+// CacheStats snapshots the shared build cache's counters.
+func (e *Engine) CacheStats() prim.CacheStats { return e.cache.Stats() }
+
+// Run executes a single point through the shared build cache.
+func (e *Engine) Run(ctx context.Context, p Point) (*prim.Result, error) {
+	wd := e.watchdog
+	if p.Watchdog > 0 {
+		wd = p.Watchdog
+	}
+	return prim.RunSpec(ctx, prim.Spec{
+		Benchmark: p.Benchmark,
+		Config:    p.Config,
+		DPUs:      p.DPUs,
+		Scale:     p.Scale,
+		Watchdog:  wd,
+		Cache:     e.cache,
+	})
+}
+
+// Sweep executes every point on a bounded worker pool and streams outcomes
+// as points finish. The channel closes once all points are done or the
+// context is cancelled; after cancellation, no further points start, no
+// further outcomes are delivered, and the stream ends early (SweepAll marks
+// the undelivered points with ctx.Err()). The caller must drain the channel
+// or cancel ctx — abandoning it mid-stream leaks the pool's goroutines.
+func (e *Engine) Sweep(ctx context.Context, pts []Point) <-chan Outcome {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	out := make(chan Outcome)
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < min(e.parallelism, len(pts)); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				res, err := e.Run(ctx, pts[i])
+				// Unconditional ctx check first: a select alone could pick
+				// the send over Done and deliver after cancellation.
+				if ctx.Err() != nil {
+					return
+				}
+				select {
+				case out <- Outcome{Point: pts[i], Index: i, Result: res, Err: err}:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
+	go func() {
+		defer close(work)
+		for i := range pts {
+			if ctx.Err() != nil {
+				return
+			}
+			select {
+			case work <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	go func() {
+		wg.Wait()
+		close(out)
+	}()
+	return out
+}
+
+// SweepAll runs Sweep to completion and returns the outcomes reordered to
+// match the input points (outcome i corresponds to pts[i]). The error is
+// the first point failure in input order, or ctx.Err() if the sweep was
+// cancelled; points skipped by cancellation carry ctx.Err() in their slot.
+func (e *Engine) SweepAll(ctx context.Context, pts []Point) ([]Outcome, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	outs := make([]Outcome, len(pts))
+	seen := make([]bool, len(pts))
+	for o := range e.Sweep(ctx, pts) {
+		outs[o.Index] = o
+		seen[o.Index] = true
+	}
+	for i := range outs {
+		if !seen[i] {
+			outs[i] = Outcome{Point: pts[i], Index: i, Err: ctx.Err()}
+		}
+	}
+	for i := range outs {
+		if outs[i].Err != nil {
+			return outs, outs[i].Err
+		}
+	}
+	return outs, nil
+}

@@ -1,10 +1,18 @@
+// Package figures regenerates the paper's evaluation artifacts. Every table
+// and figure is an Experiment whose driver declares the simulation points it
+// needs — (benchmark, config, #DPUs) tuples — and hands them to the shared
+// concurrent sweep engine, which runs them on a bounded worker pool with a
+// shared kernel build cache. Experiments are cancellable through their
+// context.
 package figures
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"upim/internal/config"
+	"upim/internal/engine"
 	"upim/internal/isa"
 	"upim/internal/prim"
 	"upim/internal/stats"
@@ -17,6 +25,8 @@ type Options struct {
 	Scale prim.Scale
 	// Benchmarks restricts the suite (nil = all 16).
 	Benchmarks []string
+	// Parallelism bounds the sweep worker pool (<= 0 selects GOMAXPROCS).
+	Parallelism int
 }
 
 func (o Options) names() []string {
@@ -30,11 +40,27 @@ func (o Options) names() []string {
 	return out
 }
 
+// engineFor returns the sweep engine experiments run on: the shared
+// default-width engine, or one bounded to Options.Parallelism. Either way
+// the engine is backed by sharedCache, so kernel builds are reused across
+// figures within a process (e.g. `figures -exp all`).
+func (o Options) engineFor() *engine.Engine {
+	if o.Parallelism > 0 {
+		return engine.NewWithCache(o.Parallelism, sharedCache)
+	}
+	return sharedEngine
+}
+
+var (
+	sharedCache  = prim.NewBuildCache()
+	sharedEngine = engine.NewWithCache(0, sharedCache)
+)
+
 // Experiment is a registered figure/table generator.
 type Experiment struct {
 	ID    string
 	About string
-	Run   func(Options) (*Table, error)
+	Run   func(context.Context, Options) (*Table, error)
 }
 
 var experiments = []Experiment{
@@ -84,9 +110,23 @@ func baseCfg(threads int) config.Config {
 	return cfg
 }
 
-// run executes one benchmark and returns the result.
-func run(name string, cfg config.Config, dpus int, scale prim.Scale) (*prim.Result, error) {
-	return prim.Run(name, cfg, dpus, scale)
+// pt declares one sweep point.
+func pt(name string, cfg config.Config, dpus int, scale prim.Scale) engine.Point {
+	return engine.Point{Benchmark: name, Config: cfg, DPUs: dpus, Scale: scale}
+}
+
+// sweep runs every declared point concurrently and returns the results in
+// declaration order, failing on the first point error.
+func sweep(ctx context.Context, o Options, pts []engine.Point) ([]*prim.Result, error) {
+	outs, err := o.engineFor().SweepAll(ctx, pts)
+	if err != nil {
+		return nil, err
+	}
+	res := make([]*prim.Result, len(outs))
+	for i, out := range outs {
+		res[i] = out.Result
+	}
+	return res, nil
 }
 
 var sweepThreads = []int{1, 4, 16}
@@ -95,67 +135,78 @@ var sweepThreads = []int{1, 4, 16}
 
 // Fig5 reports compute utilization (IPC / peak) and DRAM read bandwidth
 // utilization (vs the ~600 MB/s the paper normalizes against).
-func Fig5(o Options) (*Table, error) {
+func Fig5(ctx context.Context, o Options) (*Table, error) {
 	t := &Table{
 		ID: "Figure 5", Title: "compute (IPC) and memory (DRAM read BW) utilization, 1/4/16 threads",
 		Header: []string{"benchmark", "threads", "compute util", "memory util", "IPC"},
 	}
+	var pts []engine.Point
 	for _, name := range o.names() {
 		for _, th := range sweepThreads {
-			res, err := run(name, baseCfg(th), 1, o.Scale)
-			if err != nil {
-				return nil, err
-			}
-			cfg := baseCfg(th)
-			// Peak read bandwidth reference: the 700 MB/s theoretical
-			// MRAM->WRAM link (the paper normalizes against the ~600 MB/s
-			// measured on hardware; we use the modeled ceiling so the
-			// utilization is bounded by 100%).
-			peakBytesPerCycle := float64(cfg.LinkBytesPerCycle)
-			t.Rows = append(t.Rows, []string{
-				name, fmt.Sprint(th),
-				Pct(res.Stats.ComputeUtilization(1)),
-				Pct(res.Stats.MemoryReadBandwidthUtilization(peakBytesPerCycle)),
-				Cell(res.Stats.IPC()),
-			})
+			pts = append(pts, pt(name, baseCfg(th), 1, o.Scale))
 		}
+	}
+	results, err := sweep(ctx, o, pts)
+	if err != nil {
+		return nil, err
+	}
+	for i, res := range results {
+		// Peak read bandwidth reference: the 700 MB/s theoretical MRAM->WRAM
+		// link (the paper normalizes against the ~600 MB/s measured on
+		// hardware; we use the modeled ceiling so the utilization is bounded
+		// by 100%).
+		peakBytesPerCycle := float64(pts[i].Config.LinkBytesPerCycle)
+		t.Rows = append(t.Rows, []string{
+			res.Benchmark, fmt.Sprint(res.Tasklets),
+			Pct(res.Stats.ComputeUtilization(1)),
+			Pct(res.Stats.MemoryReadBandwidthUtilization(peakBytesPerCycle)),
+			Cell(res.Stats.IPC()),
+		})
 	}
 	return t, nil
 }
 
 // Fig6 reports the issue-slot breakdown.
-func Fig6(o Options) (*Table, error) {
+func Fig6(ctx context.Context, o Options) (*Table, error) {
 	t := &Table{
 		ID: "Figure 6", Title: "issue-slot breakdown: issuable vs idle(memory/revolver/RF)",
 		Header: []string{"benchmark", "threads", "issuable", "idle(mem)", "idle(revolver)", "idle(RF)"},
 	}
+	var pts []engine.Point
 	for _, name := range o.names() {
 		for _, th := range sweepThreads {
-			res, err := run(name, baseCfg(th), 1, o.Scale)
-			if err != nil {
-				return nil, err
-			}
-			issued, mem, rev, rf := res.Stats.Breakdown()
-			t.Rows = append(t.Rows, []string{
-				name, fmt.Sprint(th), Pct(issued), Pct(mem), Pct(rev), Pct(rf),
-			})
+			pts = append(pts, pt(name, baseCfg(th), 1, o.Scale))
 		}
+	}
+	results, err := sweep(ctx, o, pts)
+	if err != nil {
+		return nil, err
+	}
+	for _, res := range results {
+		issued, mem, rev, rf := res.Stats.Breakdown()
+		t.Rows = append(t.Rows, []string{
+			res.Benchmark, fmt.Sprint(res.Tasklets), Pct(issued), Pct(mem), Pct(rev), Pct(rf),
+		})
 	}
 	return t, nil
 }
 
 // Fig7 reports the issuable-thread histogram and average at 16 threads.
-func Fig7(o Options) (*Table, error) {
+func Fig7(ctx context.Context, o Options) (*Table, error) {
 	t := &Table{
 		ID: "Figure 7", Title: "issuable threads per cycle, 16 threads",
 		Header: []string{"benchmark", "0", "1~4", "5~8", "9~12", "13~16", "17~24", "avg"},
 	}
+	var pts []engine.Point
 	for _, name := range o.names() {
-		res, err := run(name, baseCfg(16), 1, o.Scale)
-		if err != nil {
-			return nil, err
-		}
-		row := []string{name}
+		pts = append(pts, pt(name, baseCfg(16), 1, o.Scale))
+	}
+	results, err := sweep(ctx, o, pts)
+	if err != nil {
+		return nil, err
+	}
+	for _, res := range results {
+		row := []string{res.Benchmark}
 		var total uint64
 		for _, c := range res.Stats.TLPHist {
 			total += c
@@ -170,7 +221,7 @@ func Fig7(o Options) (*Table, error) {
 }
 
 // Fig8 samples the TLP timeline for the paper's three exemplars.
-func Fig8(o Options) (*Table, error) {
+func Fig8(ctx context.Context, o Options) (*Table, error) {
 	t := &Table{
 		ID: "Figure 8", Title: "issuable threads over time (normalized run, 16 samples)",
 		Header: []string{"benchmark"},
@@ -182,21 +233,25 @@ func Fig8(o Options) (*Table, error) {
 	if len(o.Benchmarks) > 0 {
 		names = o.Benchmarks
 	}
+	var pts []engine.Point
 	for _, name := range names {
 		cfg := baseCfg(16)
 		cfg.TimelineWindow = 2000
-		res, err := run(name, cfg, 1, o.Scale)
+		pts = append(pts, pt(name, cfg, 1, o.Scale))
+	}
+	results, err := sweep(ctx, o, pts)
+	if err != nil {
+		return nil, err
+	}
+	for _, res := range results {
 		var series []float32
-		if err != nil {
-			return nil, err
-		}
 		for _, d := range res.PerDPU {
 			if len(d.Timeline) > 0 {
 				series = d.Timeline
 				break
 			}
 		}
-		row := []string{name}
+		row := []string{res.Benchmark}
 		for i := 0; i < 16; i++ {
 			if len(series) == 0 {
 				row = append(row, "-")
@@ -211,18 +266,22 @@ func Fig8(o Options) (*Table, error) {
 }
 
 // Fig9 reports the instruction mix.
-func Fig9(o Options) (*Table, error) {
+func Fig9(ctx context.Context, o Options) (*Table, error) {
 	t := &Table{
 		ID: "Figure 9", Title: "instruction mix (single DPU, 16 threads)",
 		Header: []string{"benchmark", "arith", "arith+branch", "mul/div", "ld/st", "DMA", "sync", "etc"},
 	}
+	var pts []engine.Point
 	for _, name := range o.names() {
-		res, err := run(name, baseCfg(16), 1, o.Scale)
-		if err != nil {
-			return nil, err
-		}
+		pts = append(pts, pt(name, baseCfg(16), 1, o.Scale))
+	}
+	results, err := sweep(ctx, o, pts)
+	if err != nil {
+		return nil, err
+	}
+	for _, res := range results {
 		mix := res.Stats.MixFractions()
-		row := []string{name}
+		row := []string{res.Benchmark}
 		for c := 0; c < isa.NumClasses; c++ {
 			row = append(row, Pct(mix[c]))
 		}
@@ -231,34 +290,37 @@ func Fig9(o Options) (*Table, error) {
 	return t, nil
 }
 
+var fig10DPUs = []int{1, 16, 64}
+
 // Fig10 reports multi-DPU strong scaling.
-func Fig10(o Options) (*Table, error) {
+func Fig10(ctx context.Context, o Options) (*Table, error) {
 	t := &Table{
 		ID: "Figure 10", Title: "strong scaling over 1/16/64 DPUs: phase times (ms) and speedup",
 		Header: []string{"benchmark", "DPUs", "kernel", "CPU-to-DPU", "DPU-to-CPU", "DPU-to-DPU", "total", "speedup"},
 	}
+	var pts []engine.Point
 	for _, name := range o.names() {
-		var base float64
-		for _, dpus := range []int{1, 16, 64} {
-			res, err := run(name, baseCfg(16), dpus, o.Scale)
-			if err != nil {
-				return nil, err
-			}
-			total := res.Report.Total()
-			if dpus == 1 {
-				base = total
-			}
-			ms := func(s float64) string { return Cell(s * 1e3) }
-			t.Rows = append(t.Rows, []string{
-				name, fmt.Sprint(dpus),
-				ms(res.Report.KernelSeconds),
-				ms(res.Report.TransferSeconds[0]),
-				ms(res.Report.TransferSeconds[1]),
-				ms(res.Report.TransferSeconds[2]),
-				ms(total),
-				Cell(base / total),
-			})
+		for _, dpus := range fig10DPUs {
+			pts = append(pts, pt(name, baseCfg(16), dpus, o.Scale))
 		}
+	}
+	results, err := sweep(ctx, o, pts)
+	if err != nil {
+		return nil, err
+	}
+	for i, res := range results {
+		total := res.Report.Total()
+		base := results[i-i%len(fig10DPUs)].Report.Total()
+		ms := func(s float64) string { return Cell(s * 1e3) }
+		t.Rows = append(t.Rows, []string{
+			res.Benchmark, fmt.Sprint(res.DPUs),
+			ms(res.Report.KernelSeconds),
+			ms(res.Report.TransferSeconds[0]),
+			ms(res.Report.TransferSeconds[1]),
+			ms(res.Report.TransferSeconds[2]),
+			ms(total),
+			Cell(base / total),
+		})
 	}
 	return t, nil
 }
@@ -266,7 +328,7 @@ func Fig10(o Options) (*Table, error) {
 // ---- case studies --------------------------------------------------------
 
 // Fig11 runs the SIMT case study on GEMV.
-func Fig11(o Options) (*Table, error) {
+func Fig11(ctx context.Context, o Options) (*Table, error) {
 	t := &Table{
 		ID: "Figure 11", Title: "SIMT vector execution on GEMV (max IPC 16)",
 		Header: []string{"design", "IPC", "issuable", "idle(mem)", "idle(revolver)", "speedup"},
@@ -299,22 +361,25 @@ func Fig11(o Options) (*Table, error) {
 			c.DRAMFreqMHz *= 16
 		}},
 	}
-	var base float64
-	for i, d := range designs {
+	var pts []engine.Point
+	for _, d := range designs {
 		cfg := baseCfg(16)
 		d.mutate(&cfg)
-		res, err := run("GEMV", cfg, 1, o.Scale)
-		if err != nil {
-			return nil, err
-		}
-		sec := cfg.CyclesToSeconds(res.Stats.Cycles)
-		if i == 0 {
-			base = sec
-		}
+		pts = append(pts, pt("GEMV", cfg, 1, o.Scale))
+	}
+	results, err := sweep(ctx, o, pts)
+	if err != nil {
+		return nil, err
+	}
+	secs := make([]float64, len(results))
+	for i, res := range results {
+		secs[i] = pts[i].Config.CyclesToSeconds(res.Stats.Cycles)
+	}
+	for i, res := range results {
 		issued, mem, rev, _ := res.Stats.Breakdown()
 		t.Rows = append(t.Rows, []string{
-			d.name, Cell(res.Stats.IPC()), Pct(issued), Pct(mem), Pct(rev),
-			Cell(base / sec),
+			designs[i].name, Cell(res.Stats.IPC()), Pct(issued), Pct(mem), Pct(rev),
+			Cell(secs[0] / secs[i]),
 		})
 	}
 	return t, nil
@@ -335,87 +400,98 @@ func ilpLabel(v string) string {
 }
 
 // Fig12 runs the ILP ablation.
-func Fig12(o Options) (*Table, error) {
+func Fig12(ctx context.Context, o Options) (*Table, error) {
 	t := &Table{
 		ID: "Figure 12", Title: "ILP ablation at 16 threads: D=forwarding R=unified RF S=2-way F=700MHz",
 		Header: []string{"benchmark", "design", "issuable", "idle(mem)", "idle(revolver)", "idle(RF)", "speedup"},
 	}
+	var pts []engine.Point
 	for _, name := range o.names() {
-		var base float64
 		for _, v := range ilpVariants {
-			cfg := baseCfg(16).WithILP(v)
-			res, err := run(name, cfg, 1, o.Scale)
-			if err != nil {
-				return nil, err
-			}
-			sec := cfg.CyclesToSeconds(res.Stats.Cycles)
-			if v == "" {
-				base = sec
-			}
-			issued, mem, rev, rf := res.Stats.Breakdown()
-			t.Rows = append(t.Rows, []string{
-				name, ilpLabel(v), Pct(issued), Pct(mem), Pct(rev), Pct(rf),
-				Cell(base / sec),
-			})
+			pts = append(pts, pt(name, baseCfg(16).WithILP(v), 1, o.Scale))
 		}
+	}
+	results, err := sweep(ctx, o, pts)
+	if err != nil {
+		return nil, err
+	}
+	for i, res := range results {
+		sec := pts[i].Config.CyclesToSeconds(res.Stats.Cycles)
+		baseIdx := i - i%len(ilpVariants)
+		base := pts[baseIdx].Config.CyclesToSeconds(results[baseIdx].Stats.Cycles)
+		issued, mem, rev, rf := res.Stats.Breakdown()
+		t.Rows = append(t.Rows, []string{
+			res.Benchmark, ilpLabel(ilpVariants[i%len(ilpVariants)]),
+			Pct(issued), Pct(mem), Pct(rev), Pct(rf),
+			Cell(base / sec),
+		})
 	}
 	return t, nil
 }
 
+var fig13LinkScales = []int{1, 2, 4}
+
 // Fig13 scales the MRAM-to-WRAM link bandwidth.
-func Fig13(o Options) (*Table, error) {
+func Fig13(ctx context.Context, o Options) (*Table, error) {
 	t := &Table{
 		ID: "Figure 13", Title: "speedup from scaling the MRAM-to-WRAM link x1/x2/x4",
 		Header: []string{"benchmark", "design", "x1", "x2", "x4"},
 	}
+	ilps := []string{"", "DRSF"}
+	var pts []engine.Point
 	for _, name := range o.names() {
-		for _, ilp := range []string{"", "DRSF"} {
-			row := []string{name, ilpLabel(ilp)}
-			var base float64
-			for _, scale := range []int{1, 2, 4} {
+		for _, ilp := range ilps {
+			for _, scale := range fig13LinkScales {
 				cfg := baseCfg(16).WithILP(ilp)
 				cfg.LinkBytesPerCycle *= scale
-				res, err := run(name, cfg, 1, o.Scale)
-				if err != nil {
-					return nil, err
-				}
-				sec := cfg.CyclesToSeconds(res.Stats.Cycles)
-				if scale == 1 {
-					base = sec
-				}
-				row = append(row, Cell(base/sec))
+				pts = append(pts, pt(name, cfg, 1, o.Scale))
 			}
-			t.Rows = append(t.Rows, row)
 		}
+	}
+	results, err := sweep(ctx, o, pts)
+	if err != nil {
+		return nil, err
+	}
+	n := len(fig13LinkScales)
+	for i := 0; i < len(results); i += n {
+		base := pts[i].Config.CyclesToSeconds(results[i].Stats.Cycles)
+		row := []string{results[i].Benchmark, ilpLabel(ilps[(i/n)%len(ilps)])}
+		for j := i; j < i+n; j++ {
+			sec := pts[j].Config.CyclesToSeconds(results[j].Stats.Cycles)
+			row = append(row, Cell(base/sec))
+		}
+		t.Rows = append(t.Rows, row)
 	}
 	return t, nil
 }
 
 // MMUStudy quantifies address-translation overhead (case study 3).
-func MMUStudy(o Options) (*Table, error) {
+func MMUStudy(ctx context.Context, o Options) (*Table, error) {
 	t := &Table{
 		ID: "Case study 3", Title: "MMU overhead: 16-entry TLB, 4KB pages, demand paging",
 		Header: []string{"benchmark", "slowdown", "TLB hit rate", "walks", "faults"},
 	}
-	var worst, sum float64
-	n := 0
+	var pts []engine.Point
 	for _, name := range o.names() {
-		base, err := run(name, baseCfg(16), 1, o.Scale)
-		if err != nil {
-			return nil, err
-		}
+		pts = append(pts, pt(name, baseCfg(16), 1, o.Scale))
 		cfg := baseCfg(16)
 		cfg.MMU.Enable = true
 		cfg.MMU.Prefault = false // outputs are demand-faulted on first touch
-		res, err := run(name, cfg, 1, o.Scale)
-		if err != nil {
-			return nil, err
-		}
+		pts = append(pts, pt(name, cfg, 1, o.Scale))
+	}
+	results, err := sweep(ctx, o, pts)
+	if err != nil {
+		return nil, err
+	}
+	var worst, sum float64
+	n := 0
+	for i := 0; i < len(results); i += 2 {
+		base, res := results[i], results[i+1]
 		over := float64(res.Stats.Cycles)/float64(base.Stats.Cycles) - 1
 		hits := float64(res.Stats.MMU.TLBHits)
 		hitRate := hits / max(hits+float64(res.Stats.MMU.TLBMisses), 1)
 		t.Rows = append(t.Rows, []string{
-			name, Pct(over), Pct(hitRate),
+			res.Benchmark, Pct(over), Pct(hitRate),
 			fmt.Sprint(res.Stats.MMU.TableWalks), fmt.Sprint(res.Stats.MMU.PageFaults),
 		})
 		sum += over
@@ -428,35 +504,37 @@ func MMUStudy(o Options) (*Table, error) {
 }
 
 // Fig15 compares the cache-centric and scratchpad-centric designs.
-func Fig15(o Options) (*Table, error) {
+func Fig15(ctx context.Context, o Options) (*Table, error) {
 	t := &Table{
 		ID: "Figure 15", Title: "cache-centric speedup over scratchpad-centric (>1 favours caches)",
 		Header: []string{"benchmark", "threads", "scratchpad ms", "cache ms", "cache speedup"},
 	}
+	var pts []engine.Point
 	for _, name := range o.names() {
 		for _, th := range sweepThreads {
-			spad, err := run(name, baseCfg(th), 1, o.Scale)
-			if err != nil {
-				return nil, err
-			}
+			pts = append(pts, pt(name, baseCfg(th), 1, o.Scale))
 			cfg := baseCfg(th)
 			cfg.Mode = config.ModeCache
-			cached, err := run(name, cfg, 1, o.Scale)
-			if err != nil {
-				return nil, err
-			}
-			sSec := cfg.CyclesToSeconds(spad.Stats.Cycles)
-			cSec := cfg.CyclesToSeconds(cached.Stats.Cycles)
-			t.Rows = append(t.Rows, []string{
-				name, fmt.Sprint(th), Cell(sSec * 1e3), Cell(cSec * 1e3), Cell(sSec / cSec),
-			})
+			pts = append(pts, pt(name, cfg, 1, o.Scale))
 		}
+	}
+	results, err := sweep(ctx, o, pts)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < len(results); i += 2 {
+		spad, cached := results[i], results[i+1]
+		sSec := pts[i].Config.CyclesToSeconds(spad.Stats.Cycles)
+		cSec := pts[i+1].Config.CyclesToSeconds(cached.Stats.Cycles)
+		t.Rows = append(t.Rows, []string{
+			spad.Benchmark, fmt.Sprint(spad.Tasklets), Cell(sSec * 1e3), Cell(cSec * 1e3), Cell(sSec / cSec),
+		})
 	}
 	return t, nil
 }
 
 // Fig16 compares DRAM bytes read and runtime for BS and UNI.
-func Fig16(o Options) (*Table, error) {
+func Fig16(ctx context.Context, o Options) (*Table, error) {
 	t := &Table{
 		ID: "Figure 16", Title: "DRAM bytes read and runtime vs threads: scratchpad vs cache",
 		Header: []string{"benchmark", "threads", "bytes (spad)", "bytes (cache)", "byte ratio", "time ratio (spad/cache)"},
@@ -465,27 +543,29 @@ func Fig16(o Options) (*Table, error) {
 	if len(o.Benchmarks) > 0 {
 		names = o.Benchmarks
 	}
+	var pts []engine.Point
 	for _, name := range names {
 		for _, th := range []int{1, 2, 4, 8, 16} {
-			spad, err := run(name, baseCfg(th), 1, o.Scale)
-			if err != nil {
-				return nil, err
-			}
+			pts = append(pts, pt(name, baseCfg(th), 1, o.Scale))
 			cfg := baseCfg(th)
 			cfg.Mode = config.ModeCache
-			cached, err := run(name, cfg, 1, o.Scale)
-			if err != nil {
-				return nil, err
-			}
-			sb := float64(spad.Stats.DRAM.BytesRead)
-			cb := float64(cached.Stats.DRAM.BytesRead)
-			t.Rows = append(t.Rows, []string{
-				name, fmt.Sprint(th),
-				fmt.Sprintf("%.0fK", sb/1024), fmt.Sprintf("%.0fK", cb/1024),
-				Cell(sb / max(cb, 1)),
-				Cell(float64(spad.Stats.Cycles) / float64(max(cached.Stats.Cycles, 1))),
-			})
+			pts = append(pts, pt(name, cfg, 1, o.Scale))
 		}
+	}
+	results, err := sweep(ctx, o, pts)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < len(results); i += 2 {
+		spad, cached := results[i], results[i+1]
+		sb := float64(spad.Stats.DRAM.BytesRead)
+		cb := float64(cached.Stats.DRAM.BytesRead)
+		t.Rows = append(t.Rows, []string{
+			spad.Benchmark, fmt.Sprint(spad.Tasklets),
+			fmt.Sprintf("%.0fK", sb/1024), fmt.Sprintf("%.0fK", cb/1024),
+			Cell(sb / max(cb, 1)),
+			Cell(float64(spad.Stats.Cycles) / float64(max(cached.Stats.Cycles, 1))),
+		})
 	}
 	return t, nil
 }
@@ -493,7 +573,7 @@ func Fig16(o Options) (*Table, error) {
 // ---- tables and validation ----------------------------------------------
 
 // Table1 prints the default configuration (paper Table I).
-func Table1(Options) (*Table, error) {
+func Table1(_ context.Context, _ Options) (*Table, error) {
 	cfg := config.Default()
 	t := &Table{
 		ID: "Table I", Title: "uPIMulator default configuration",
@@ -524,7 +604,7 @@ func Table1(Options) (*Table, error) {
 }
 
 // Table2 prints the benchmark datasets for a scale.
-func Table2(o Options) (*Table, error) {
+func Table2(_ context.Context, o Options) (*Table, error) {
 	t := &Table{
 		ID: "Table II", Title: fmt.Sprintf("PrIM datasets at scale %q", o.Scale),
 		Header: []string{"benchmark", "description", "parameters"},
@@ -538,37 +618,39 @@ func Table2(o Options) (*Table, error) {
 
 // Validation runs the whole suite in both memory models and reports the
 // functional cross-check results — this repo's stand-in for the paper's
-// validation against real UPMEM hardware.
-func Validation(o Options) (*Table, error) {
+// validation against real UPMEM hardware. Unlike the other experiments it
+// reports per-point failures in the table rather than failing fast.
+func Validation(ctx context.Context, o Options) (*Table, error) {
 	t := &Table{
 		ID: "Validation", Title: "functional cross-validation vs host golden models",
 		Header: []string{"benchmark", "mode", "threads", "DPUs", "result", "instructions"},
 	}
+	var pts []engine.Point
 	for _, name := range o.names() {
 		for _, mode := range []config.Mode{config.ModeScratchpad, config.ModeCache} {
 			cfg := baseCfg(16)
 			cfg.Mode = mode
-			res, err := run(name, cfg, 4, o.Scale)
-			status := "PASS"
-			instr := uint64(0)
-			if err != nil {
-				status = "FAIL: " + err.Error()
-			} else {
-				instr = res.Stats.Instructions
-			}
-			t.Rows = append(t.Rows, []string{
-				name, mode.String(), "16", "4", status, fmt.Sprint(instr),
-			})
-			if err != nil {
-				return t, err
-			}
+			pts = append(pts, pt(name, cfg, 4, o.Scale))
 		}
 	}
-	return t, nil
+	outs, firstErr := o.engineFor().SweepAll(ctx, pts)
+	for i, out := range outs {
+		status := "PASS"
+		instr := uint64(0)
+		if out.Err != nil {
+			status = "FAIL: " + out.Err.Error()
+		} else {
+			instr = out.Result.Stats.Instructions
+		}
+		t.Rows = append(t.Rows, []string{
+			pts[i].Benchmark, pts[i].Config.Mode.String(), "16", "4", status, fmt.Sprint(instr),
+		})
+	}
+	return t, firstErr
 }
 
 // Table3 reproduces the simulator-comparison table with this repo's row.
-func Table3(Options) (*Table, error) {
+func Table3(_ context.Context, _ Options) (*Table, error) {
 	t := &Table{
 		ID: "Table III", Title: "PIM simulator comparison (paper's survey + this reproduction)",
 		Header: []string{"simulator", "ISA", "frontend", "linker customization", "validated vs", "multithreaded"},

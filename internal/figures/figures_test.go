@@ -1,6 +1,7 @@
 package figures
 
 import (
+	"context"
 	"strconv"
 	"strings"
 	"testing"
@@ -22,7 +23,7 @@ func TestEveryExperimentRuns(t *testing.T) {
 			if e.ID == "fig16" || e.ID == "fig8" {
 				opts.Benchmarks = []string{"VA"}
 			}
-			tab, err := e.Run(opts)
+			tab, err := e.Run(context.Background(), opts)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -87,7 +88,7 @@ func TestCellFormatting(t *testing.T) {
 func TestShapeInvariants(t *testing.T) {
 	t.Run("fig5-bounds", func(t *testing.T) {
 		t.Parallel()
-		tab, err := Fig5(Options{Scale: prim.ScaleTiny, Benchmarks: []string{"BS", "TS"}})
+		tab, err := Fig5(context.Background(), Options{Scale: prim.ScaleTiny, Benchmarks: []string{"BS", "TS"}})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -106,7 +107,7 @@ func TestShapeInvariants(t *testing.T) {
 	})
 	t.Run("fig9-hstl-sync", func(t *testing.T) {
 		t.Parallel()
-		tab, err := Fig9(Options{Scale: prim.ScaleTiny, Benchmarks: []string{"HST-L", "HST-S"}})
+		tab, err := Fig9(context.Background(), Options{Scale: prim.ScaleTiny, Benchmarks: []string{"HST-L", "HST-S"}})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -128,7 +129,7 @@ func TestShapeInvariants(t *testing.T) {
 	})
 	t.Run("fig11-ladder", func(t *testing.T) {
 		t.Parallel()
-		tab, err := Fig11(Options{Scale: prim.ScaleTiny})
+		tab, err := Fig11(context.Background(), Options{Scale: prim.ScaleTiny})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -143,7 +144,7 @@ func TestShapeInvariants(t *testing.T) {
 	})
 	t.Run("fig12-ts-monotone", func(t *testing.T) {
 		t.Parallel()
-		tab, err := Fig12(Options{Scale: prim.ScaleTiny, Benchmarks: []string{"TS"}})
+		tab, err := Fig12(context.Background(), Options{Scale: prim.ScaleTiny, Benchmarks: []string{"TS"}})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -10,6 +10,7 @@
 package host
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"runtime"
@@ -86,12 +87,26 @@ type System struct {
 
 // NewSystem links obj for cfg and allocates n DPUs loaded with the program.
 func NewSystem(obj *linker.Object, cfg config.Config, n int) (*System, error) {
-	if n <= 0 {
-		return nil, fmt.Errorf("host: need at least one DPU")
+	if obj == nil {
+		return nil, fmt.Errorf("host: nil object (assemble or build a kernel first)")
 	}
 	prog, err := linker.Link(obj, cfg)
 	if err != nil {
 		return nil, err
+	}
+	return NewSystemFromProgram(prog, cfg, n)
+}
+
+// NewSystemFromProgram allocates n DPUs loaded with an already-linked
+// program. The program must have been linked for the same mode as cfg; it is
+// never mutated, so one Program may back many concurrent Systems (the sweep
+// engine's build cache relies on this).
+func NewSystemFromProgram(prog *linker.Program, cfg config.Config, n int) (*System, error) {
+	if prog == nil {
+		return nil, fmt.Errorf("host: nil program (link an object first)")
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("host: need at least one DPU")
 	}
 	s := &System{
 		cfg:         cfg,
@@ -215,7 +230,12 @@ func MRAMBaseAddr(off uint32) uint32 { return mem.MRAMBase + off }
 
 // Launch flushes pending transfers and runs every DPU's kernel to
 // completion in parallel; kernel time advances by the slowest DPU.
-func (s *System) Launch() error {
+// Cancelling ctx aborts the launch: running DPUs return promptly and Launch
+// reports ctx.Err().
+func (s *System) Launch(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	s.flushTransfers()
 	before := make([]uint64, len(s.dpus))
 	for i, d := range s.dpus {
@@ -234,7 +254,11 @@ func (s *System) Launch() error {
 		go func() {
 			defer wg.Done()
 			for i := range work {
-				errs[i] = s.dpus[i].Run(s.maxKernelCy)
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					continue
+				}
+				errs[i] = s.dpus[i].Run(ctx, s.maxKernelCy)
 			}
 		}()
 	}
@@ -244,6 +268,9 @@ func (s *System) Launch() error {
 	close(work)
 	wg.Wait()
 
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("host: launch %d: %w", s.report.Launches, err)
+	}
 	var maxCycles uint64
 	for i, d := range s.dpus {
 		if errs[i] != nil {

@@ -1,6 +1,7 @@
 package host
 
 import (
+	"context"
 	"encoding/binary"
 	"math"
 	"strings"
@@ -46,7 +47,7 @@ func TestMultiDPULaunch(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if err := s.Launch(); err != nil {
+	if err := s.Launch(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	s.SetPhase(PhaseOutput)
@@ -124,7 +125,7 @@ func TestRelaunchAccumulates(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if err := s.Launch(); err != nil {
+	if err := s.Launch(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	k1 := s.Report().KernelSeconds
@@ -135,7 +136,7 @@ func TestRelaunchAccumulates(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if err := s.Launch(); err != nil {
+	if err := s.Launch(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	rep := s.Report()
@@ -164,7 +165,7 @@ func TestLaunchPropagatesFaults(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Launch(); err == nil || !strings.Contains(err.Error(), "software fault") {
+	if err := s.Launch(context.Background()); err == nil || !strings.Contains(err.Error(), "software fault") {
 		t.Fatalf("err = %v, want fault propagation", err)
 	}
 }
@@ -184,7 +185,7 @@ func TestAggregateStats(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if err := s.Launch(); err != nil {
+	if err := s.Launch(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	agg := s.AggregateStats()

@@ -1,6 +1,7 @@
 package prim
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -262,7 +263,7 @@ func buildBFS(mode config.Mode) (*linker.Object, error) {
 	return b.Build()
 }
 
-func runBFS(sys *host.System, p Params) error {
+func runBFS(ctx context.Context, sys *host.System, p Params) error {
 	n := p.N
 	if n%64 != 0 {
 		return fmt.Errorf("bfs: n must be a multiple of 64")
@@ -348,7 +349,7 @@ func runBFS(sys *host.System, p Params) error {
 				return err
 			}
 		}
-		if err := sys.Launch(); err != nil {
+		if err := sys.Launch(ctx); err != nil {
 			return err
 		}
 		sys.SetPhase(host.PhaseExchange)

@@ -1,6 +1,7 @@
 package prim
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -166,7 +167,7 @@ func buildBS(mode config.Mode) (*linker.Object, error) {
 	return b.Build()
 }
 
-func runBS(sys *host.System, p Params) error {
+func runBS(ctx context.Context, sys *host.System, p Params) error {
 	n, nq := p.N, p.Queries
 	// Sorted array with strictly increasing values; queries drawn from it.
 	a := make([]int32, n)
@@ -203,7 +204,7 @@ func runBS(sys *host.System, p Params) error {
 			return err
 		}
 	}
-	if err := sys.Launch(); err != nil {
+	if err := sys.Launch(ctx); err != nil {
 		return err
 	}
 	sys.SetPhase(host.PhaseOutput)

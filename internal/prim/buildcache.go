@@ -1,0 +1,153 @@
+package prim
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"upim/internal/config"
+	"upim/internal/linker"
+)
+
+// BuildCache memoizes kernel compilation across simulation points: assembled
+// objects are keyed by (benchmark, mode) and linked programs by (benchmark,
+// link-relevant config fields), so a sweep over many (config, #DPUs) points
+// builds each unique kernel exactly once. Linked programs are immutable, so
+// one cached Program safely backs many concurrent Systems.
+//
+// All methods are safe for concurrent use; concurrent requests for the same
+// key block on a single in-flight build (singleflight) rather than building
+// twice.
+type BuildCache struct {
+	mu    sync.Mutex
+	objs  map[objKey]*objEntry
+	progs map[progKey]*progEntry
+
+	builds atomic.Int64
+	links  atomic.Int64
+	hits   atomic.Int64
+}
+
+// NewBuildCache returns an empty cache.
+func NewBuildCache() *BuildCache {
+	return &BuildCache{
+		objs:  make(map[objKey]*objEntry),
+		progs: make(map[progKey]*progEntry),
+	}
+}
+
+// CacheStats counts cache activity: Builds and Links are the number of
+// actual kernel assemblies and program links performed; Hits counts requests
+// served from (or coalesced onto) an existing entry.
+type CacheStats struct {
+	Builds, Links, Hits int64
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *BuildCache) Stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	return CacheStats{
+		Builds: c.builds.Load(),
+		Links:  c.links.Load(),
+		Hits:   c.hits.Load(),
+	}
+}
+
+type objKey struct {
+	bench string
+	mode  config.Mode
+}
+
+// progKey captures exactly the config fields linker.Link's layout and
+// capacity checks read; everything else (frequencies, ILP features, DRAM
+// timings, ...) may vary between sweep points without invalidating a linked
+// program.
+type progKey struct {
+	bench     string
+	mode      config.Mode
+	wramBytes int
+	iramBytes int
+	tasklets  int
+	stack     int
+}
+
+type objEntry struct {
+	done chan struct{}
+	obj  *linker.Object
+	err  error
+}
+
+type progEntry struct {
+	done chan struct{}
+	prog *linker.Program
+	err  error
+}
+
+// object returns the assembled object for (b, mode), building it at most
+// once.
+func (c *BuildCache) object(b *Benchmark, mode config.Mode) (*linker.Object, error) {
+	k := objKey{b.Name, mode}
+	c.mu.Lock()
+	e, ok := c.objs[k]
+	if ok {
+		c.mu.Unlock()
+		c.hits.Add(1)
+		<-e.done
+		return e.obj, e.err
+	}
+	e = &objEntry{done: make(chan struct{})}
+	c.objs[k] = e
+	c.mu.Unlock()
+
+	obj, err := b.Build(mode)
+	c.builds.Add(1)
+	if err != nil {
+		err = fmt.Errorf("build: %w", err)
+	}
+	e.obj, e.err = obj, err
+	close(e.done)
+	return e.obj, e.err
+}
+
+// program returns the linked program for (b, cfg), assembling and linking at
+// most once per unique key. A nil cache degenerates to an uncached
+// build-and-link.
+func (c *BuildCache) program(b *Benchmark, cfg config.Config) (*linker.Program, error) {
+	if c == nil {
+		obj, err := b.Build(cfg.Mode)
+		if err != nil {
+			return nil, fmt.Errorf("build: %w", err)
+		}
+		return linker.Link(obj, cfg)
+	}
+	obj, err := c.object(b, cfg.Mode)
+	if err != nil {
+		return nil, err
+	}
+	k := progKey{
+		bench:     b.Name,
+		mode:      cfg.Mode,
+		wramBytes: cfg.WRAMBytes,
+		iramBytes: cfg.IRAMBytes,
+		tasklets:  cfg.NumTasklets,
+		stack:     cfg.StackBytes,
+	}
+	c.mu.Lock()
+	e, ok := c.progs[k]
+	if ok {
+		c.mu.Unlock()
+		c.hits.Add(1)
+		<-e.done
+		return e.prog, e.err
+	}
+	e = &progEntry{done: make(chan struct{})}
+	c.progs[k] = e
+	c.mu.Unlock()
+
+	e.prog, e.err = linker.Link(obj, cfg)
+	c.links.Add(1)
+	close(e.done)
+	return e.prog, e.err
+}

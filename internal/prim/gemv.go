@@ -1,6 +1,7 @@
 package prim
 
 import (
+	"context"
 	"fmt"
 
 	"upim/internal/config"
@@ -232,7 +233,7 @@ func buildGEMVKernel(mode config.Mode, name string, relu bool) (*linker.Object, 
 	return b.Build()
 }
 
-func runGEMV(sys *host.System, p Params) error {
+func runGEMV(ctx context.Context, sys *host.System, p Params) error {
 	m, n := p.M, p.N
 	a := randI32s(m*n, 64, p.Seed)
 	x := randI32s(n, 64, p.Seed+1)
@@ -270,7 +271,7 @@ func runGEMV(sys *host.System, p Params) error {
 			return err
 		}
 	}
-	if err := sys.Launch(); err != nil {
+	if err := sys.Launch(ctx); err != nil {
 		return err
 	}
 	sys.SetPhase(host.PhaseOutput)

@@ -1,6 +1,7 @@
 package prim
 
 import (
+	"context"
 	"fmt"
 
 	"upim/internal/config"
@@ -264,7 +265,7 @@ var (
 	rBytes16 = kbuild.R(16)
 )
 
-func runHST(sys *host.System, p Params) error {
+func runHST(ctx context.Context, sys *host.System, p Params) error {
 	n, bins := p.N, p.Bins
 	const shift = 4
 	a := randI32s(n, int32(bins)<<shift, p.Seed)
@@ -284,7 +285,7 @@ func runHST(sys *host.System, p Params) error {
 			return err
 		}
 	}
-	if err := sys.Launch(); err != nil {
+	if err := sys.Launch(ctx); err != nil {
 		return err
 	}
 	sys.SetPhase(host.PhaseOutput)

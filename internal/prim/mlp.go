@@ -1,6 +1,7 @@
 package prim
 
 import (
+	"context"
 	"upim/internal/config"
 	"upim/internal/host"
 	"upim/internal/linker"
@@ -31,7 +32,7 @@ func init() {
 	})
 }
 
-func runMLP(sys *host.System, p Params) error {
+func runMLP(ctx context.Context, sys *host.System, p Params) error {
 	dim, layers := p.M, p.Layers
 	weights := make([][]int32, layers)
 	for l := range weights {
@@ -106,7 +107,7 @@ func runMLP(sys *host.System, p Params) error {
 				return err
 			}
 		}
-		if err := sys.Launch(); err != nil {
+		if err := sys.Launch(ctx); err != nil {
 			return err
 		}
 		// Gather the layer output (exchange for inner layers, final output

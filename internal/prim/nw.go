@@ -1,6 +1,7 @@
 package prim
 
 import (
+	"context"
 	"fmt"
 
 	"upim/internal/config"
@@ -344,7 +345,7 @@ func nwGolden(s1, s2 []int32, L int) []int32 {
 	return dp
 }
 
-func runNW(sys *host.System, p Params) error {
+func runNW(ctx context.Context, sys *host.System, p Params) error {
 	L := p.N
 	if L%nwB != 0 {
 		return fmt.Errorf("nw: L=%d must be a multiple of %d", L, nwB)
@@ -402,7 +403,7 @@ func runNW(sys *host.System, p Params) error {
 		if err := writeArgs(0, 0, 2*nb-2); err != nil {
 			return err
 		}
-		if err := sys.Launch(); err != nil {
+		if err := sys.Launch(ctx); err != nil {
 			return err
 		}
 	} else {
@@ -413,7 +414,7 @@ func runNW(sys *host.System, p Params) error {
 					return err
 				}
 			}
-			if err := sys.Launch(); err != nil {
+			if err := sys.Launch(ctx); err != nil {
 				return err
 			}
 			sys.SetPhase(host.PhaseExchange)

@@ -10,7 +10,9 @@
 package prim
 
 import (
+	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -19,6 +21,18 @@ import (
 	"upim/internal/host"
 	"upim/internal/linker"
 	"upim/internal/stats"
+)
+
+// Typed sentinel errors for programmatic handling; match with errors.Is.
+var (
+	// ErrUnknownBenchmark reports a benchmark name outside the PrIM suite.
+	ErrUnknownBenchmark = errors.New("prim: unknown benchmark")
+	// ErrUnsupportedMode reports a (benchmark, memory mode) combination with
+	// no kernel variant (e.g. SIMT on anything but GEMV).
+	ErrUnsupportedMode = errors.New("prim: unsupported mode")
+	// ErrTooManyTasklets reports a tasklet count above a benchmark's
+	// WRAM-footprint limit.
+	ErrTooManyTasklets = errors.New("prim: too many tasklets")
 )
 
 // Scale selects dataset sizes.
@@ -70,8 +84,9 @@ type Benchmark struct {
 	// noted (GEMV).
 	Build func(mode config.Mode) (*linker.Object, error)
 	// Run distributes data, launches (possibly repeatedly), retrieves and
-	// verifies results against the golden model.
-	Run func(sys *host.System, p Params) error
+	// verifies results against the golden model. Cancelling ctx aborts
+	// in-flight launches.
+	Run func(ctx context.Context, sys *host.System, p Params) error
 	// MaxTasklets bounds NumTasklets for WRAM-footprint reasons (0 = 16).
 	MaxTasklets int
 	// SupportsSIMT marks benchmarks with a SIMT kernel variant.
@@ -102,14 +117,14 @@ func order(name string) int {
 	return 99
 }
 
-// ByName looks a benchmark up.
+// ByName looks a benchmark up. The error matches ErrUnknownBenchmark.
 func ByName(name string) (*Benchmark, error) {
 	for _, b := range registry {
 		if b.Name == name {
 			return b, nil
 		}
 	}
-	return nil, fmt.Errorf("prim: unknown benchmark %q", name)
+	return nil, fmt.Errorf("%w: %q", ErrUnknownBenchmark, name)
 }
 
 // Result captures one run's outputs for the figure drivers.
@@ -123,8 +138,37 @@ type Result struct {
 	PerDPU    []stats.DPU
 }
 
+// Spec is one fully-specified simulation point.
+type Spec struct {
+	Benchmark string
+	Config    config.Config
+	DPUs      int
+	Scale     Scale
+	// Watchdog bounds each launch's per-DPU cycles (0 = the host default).
+	Watchdog uint64
+	// Cache, when non-nil, reuses assembled objects and linked programs
+	// across runs that share a kernel (sweeps build each kernel once).
+	Cache *BuildCache
+}
+
 // Run executes a benchmark under cfg on nDPUs and verifies its output.
+//
+// Deprecated: use RunSpec, which adds cancellation, build caching and a
+// configurable watchdog.
 func Run(name string, cfg config.Config, nDPUs int, scale Scale) (*Result, error) {
+	return RunSpec(context.Background(), Spec{Benchmark: name, Config: cfg, DPUs: nDPUs, Scale: scale})
+}
+
+// RunSpec executes one simulation point and verifies its output against the
+// host golden model. Cancelling ctx aborts in-flight launches with ctx.Err().
+func RunSpec(ctx context.Context, sp Spec) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	name, cfg := sp.Benchmark, sp.Config
 	b, err := ByName(name)
 	if err != nil {
 		return nil, err
@@ -134,33 +178,37 @@ func Run(name string, cfg config.Config, nDPUs int, scale Scale) (*Result, error
 		maxT = 16
 	}
 	if cfg.Mode != config.ModeSIMT && cfg.NumTasklets > maxT {
-		return nil, fmt.Errorf("prim: %s supports at most %d tasklets (WRAM footprint)", name, maxT)
+		return nil, fmt.Errorf("%w: %s supports at most %d tasklets (WRAM footprint), got %d",
+			ErrTooManyTasklets, name, maxT, cfg.NumTasklets)
 	}
 	if cfg.Mode == config.ModeSIMT && !b.SupportsSIMT {
-		return nil, fmt.Errorf("prim: %s has no SIMT kernel variant", name)
+		return nil, fmt.Errorf("%w: %s has no SIMT kernel variant", ErrUnsupportedMode, name)
 	}
-	obj, err := b.Build(cfg.Mode)
-	if err != nil {
-		return nil, fmt.Errorf("prim: %s: build: %w", name, err)
-	}
-	sys, err := host.NewSystem(obj, cfg, nDPUs)
+	prog, err := sp.Cache.program(b, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("prim: %s: %w", name, err)
 	}
-	p := b.Params(scale)
-	if err := b.Run(sys, p); err != nil {
+	sys, err := host.NewSystemFromProgram(prog, cfg, sp.DPUs)
+	if err != nil {
+		return nil, fmt.Errorf("prim: %s: %w", name, err)
+	}
+	if sp.Watchdog > 0 {
+		sys.SetWatchdog(sp.Watchdog)
+	}
+	p := b.Params(sp.Scale)
+	if err := b.Run(ctx, sys, p); err != nil {
 		return nil, fmt.Errorf("prim: %s (%v, %d tasklets, %d DPUs): %w",
-			name, cfg.Mode, cfg.NumTasklets, nDPUs, err)
+			name, cfg.Mode, cfg.NumTasklets, sp.DPUs, err)
 	}
 	res := &Result{
 		Benchmark: name,
 		Mode:      cfg.Mode,
 		Tasklets:  cfg.NumTasklets,
-		DPUs:      nDPUs,
+		DPUs:      sp.DPUs,
 		Report:    sys.Report(),
 		Stats:     sys.AggregateStats(),
 	}
-	for i := 0; i < nDPUs; i++ {
+	for i := 0; i < sp.DPUs; i++ {
 		res.PerDPU = append(res.PerDPU, *sys.DPU(i).Stats())
 	}
 	return res, nil

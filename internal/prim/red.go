@@ -1,6 +1,7 @@
 package prim
 
 import (
+	"context"
 	"fmt"
 
 	"upim/internal/config"
@@ -137,7 +138,7 @@ func buildRED(mode config.Mode) (*linker.Object, error) {
 	return b.Build()
 }
 
-func runRED(sys *host.System, p Params) error {
+func runRED(ctx context.Context, sys *host.System, p Params) error {
 	n := p.N
 	a := randI32s(n, 1<<16, p.Seed)
 	var want int32
@@ -155,7 +156,7 @@ func runRED(sys *host.System, p Params) error {
 			return err
 		}
 	}
-	if err := sys.Launch(); err != nil {
+	if err := sys.Launch(ctx); err != nil {
 		return err
 	}
 	sys.SetPhase(host.PhaseOutput)

@@ -1,6 +1,7 @@
 package prim
 
 import (
+	"context"
 	"fmt"
 
 	"upim/internal/config"
@@ -257,7 +258,7 @@ func buildScan(mode config.Mode, ssa bool) (*linker.Object, error) {
 	return b.Build()
 }
 
-func runScan(sys *host.System, p Params) error {
+func runScan(ctx context.Context, sys *host.System, p Params) error {
 	n := p.N
 	a := randI32s(n, 1<<12, p.Seed)
 	slices := ranges(n, sys.NumDPUs(), 2)
@@ -272,7 +273,7 @@ func runScan(sys *host.System, p Params) error {
 			return err
 		}
 	}
-	if err := sys.Launch(); err != nil {
+	if err := sys.Launch(ctx); err != nil {
 		return err
 	}
 	// Multi-DPU: each DPU scanned its slice locally; the host carries the

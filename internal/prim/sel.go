@@ -1,6 +1,7 @@
 package prim
 
 import (
+	"context"
 	"fmt"
 
 	"upim/internal/config"
@@ -183,16 +184,16 @@ func buildSEL(mode config.Mode) (*linker.Object, error) {
 	return b.Build()
 }
 
-func runSEL(sys *host.System, p Params) error {
+func runSEL(ctx context.Context, sys *host.System, p Params) error {
 	keep := func(x int32) bool { return x&1 == 0 }
-	return runCompaction(sys, p, "SEL", keep, nil)
+	return runCompaction(ctx, sys, p, "SEL", keep, nil)
 }
 
 // runCompaction drives SEL and UNI, which share the dense-per-tasklet output
 // layout. keep decides by value; keepAt (when non-nil) decides by global
 // index with access to the full array and the DPU slice start (UNI's
 // neighbour comparison restarts at slice boundaries).
-func runCompaction(sys *host.System, p Params, what string,
+func runCompaction(ctx context.Context, sys *host.System, p Params, what string,
 	keep func(int32) bool, keepAt func(a []int32, sliceStart, i int) bool) error {
 	n := p.N
 	a := randI32s(n, 1<<10, p.Seed)
@@ -212,7 +213,7 @@ func runCompaction(sys *host.System, p Params, what string,
 			return err
 		}
 	}
-	if err := sys.Launch(); err != nil {
+	if err := sys.Launch(ctx); err != nil {
 		return err
 	}
 	sys.SetPhase(host.PhaseOutput)

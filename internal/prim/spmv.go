@@ -1,6 +1,7 @@
 package prim
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -251,7 +252,7 @@ func genCSR(m, n, nnzPerRow int, seed int64) *csr {
 	return c
 }
 
-func runSpMV(sys *host.System, p Params) error {
+func runSpMV(ctx context.Context, sys *host.System, p Params) error {
 	mtx := genCSR(p.M, p.N, p.NNZPerRow, p.Seed)
 	x := randI32s(p.N, 64, p.Seed+1)
 	want := make([]int32, p.M)
@@ -303,7 +304,7 @@ func runSpMV(sys *host.System, p Params) error {
 			return err
 		}
 	}
-	if err := sys.Launch(); err != nil {
+	if err := sys.Launch(ctx); err != nil {
 		return err
 	}
 	sys.SetPhase(host.PhaseOutput)

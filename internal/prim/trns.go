@@ -1,6 +1,7 @@
 package prim
 
 import (
+	"context"
 	"fmt"
 
 	"upim/internal/config"
@@ -156,7 +157,7 @@ func buildTRNS(mode config.Mode) (*linker.Object, error) {
 	return b.Build()
 }
 
-func runTRNS(sys *host.System, p Params) error {
+func runTRNS(ctx context.Context, sys *host.System, p Params) error {
 	m, n := p.M, p.N
 	a := randI32s(m*n, 1<<16, p.Seed)
 
@@ -183,7 +184,7 @@ func runTRNS(sys *host.System, p Params) error {
 			return err
 		}
 	}
-	if err := sys.Launch(); err != nil {
+	if err := sys.Launch(ctx); err != nil {
 		return err
 	}
 	sys.SetPhase(host.PhaseOutput)

@@ -1,6 +1,7 @@
 package prim
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -235,7 +236,7 @@ func buildTS(mode config.Mode) (*linker.Object, error) {
 	return b.Build()
 }
 
-func runTS(sys *host.System, p Params) error {
+func runTS(ctx context.Context, sys *host.System, p Params) error {
 	n, nq, m := p.N, p.Queries, p.Window
 	if nq > tsMaxQueries || m > tsMaxWindow {
 		return fmt.Errorf("ts: params exceed kernel capacity")
@@ -272,7 +273,7 @@ func runTS(sys *host.System, p Params) error {
 			return err
 		}
 	}
-	if err := sys.Launch(); err != nil {
+	if err := sys.Launch(ctx); err != nil {
 		return err
 	}
 

@@ -1,6 +1,7 @@
 package prim
 
 import (
+	"context"
 	"fmt"
 
 	"upim/internal/config"
@@ -176,17 +177,17 @@ func buildUNI(mode config.Mode) (*linker.Object, error) {
 	return b.Build()
 }
 
-func runUNI(sys *host.System, p Params) error {
+func runUNI(ctx context.Context, sys *host.System, p Params) error {
 	q := p
 	q.Seed = p.Seed + 77
-	return runUnique(sys, q, "UNI")
+	return runUnique(ctx, sys, q, "UNI")
 }
 
 // runUnique drives UNI with runs-friendly data (values in [0,8) so
 // consecutive duplicates are common). The golden rule matches the kernel:
 // within each DPU slice, keep element i iff it is the slice's first element
 // or differs from its predecessor.
-func runUnique(sys *host.System, p Params, what string) error {
+func runUnique(ctx context.Context, sys *host.System, p Params, what string) error {
 	n := p.N
 	a := randI32s(n, 8, p.Seed)
 	nth := sys.Config().NumTasklets
@@ -204,7 +205,7 @@ func runUnique(sys *host.System, p Params, what string) error {
 			return err
 		}
 	}
-	if err := sys.Launch(); err != nil {
+	if err := sys.Launch(ctx); err != nil {
 		return err
 	}
 	sys.SetPhase(host.PhaseOutput)

@@ -1,6 +1,7 @@
 package prim
 
 import (
+	"context"
 	"fmt"
 
 	"upim/internal/config"
@@ -120,7 +121,7 @@ func buildVA(mode config.Mode) (*linker.Object, error) {
 	return b.Build()
 }
 
-func runVA(sys *host.System, p Params) error {
+func runVA(ctx context.Context, sys *host.System, p Params) error {
 	n := p.N
 	a := randI32s(n, 1<<20, p.Seed)
 	bv := randI32s(n, 1<<20, p.Seed+1)
@@ -151,7 +152,7 @@ func runVA(sys *host.System, p Params) error {
 			return err
 		}
 	}
-	if err := sys.Launch(); err != nil {
+	if err := sys.Launch(ctx); err != nil {
 		return err
 	}
 	sys.SetPhase(host.PhaseOutput)

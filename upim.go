@@ -3,28 +3,50 @@
 // "Pathfinding Future PIM Architectures by Demystifying a Commercial PIM
 // Technology" (HPCA 2024).
 //
-// The package is a facade over the internal toolchain:
+// # Running workloads
+//
+// The primary entry point is the Runner: construct one with functional
+// options, then run verified PrIM workloads under the Table I
+// microarchitecture model — revolver scheduling, odd/even register-file
+// hazards, WRAM/IRAM scratchpads, a DDR4-2400 MRAM bank with FR-FCFS, and
+// asymmetric CPU<->DPU links:
+//
+//	r, err := upim.NewRunner(upim.WithTasklets(16), upim.WithScale(upim.ScaleSmall))
+//	res, err := r.Run(ctx, "VA")
+//
+// Sweep-style characterization — the paper's methodology — runs many
+// (benchmark, config, #DPUs) points concurrently on a bounded worker pool,
+// building each unique kernel exactly once and streaming results as they
+// finish:
+//
+//	points := []upim.Point{{Benchmark: "VA", DPUs: 1}, {Benchmark: "VA", DPUs: 16}, ...}
+//	for sr := range r.Sweep(ctx, points) { ... }
+//
+// Every run is cancellable through its context, including mid-kernel;
+// failures surface the typed errors ErrUnknownBenchmark, ErrUnsupportedMode,
+// ErrTooManyTasklets and ErrWatchdogExpired. RunExperimentContext
+// regenerates any of the paper's tables and figures on the same engine.
+//
+// # Toolchain
 //
 //   - Assemble/Link turn UPMEM-style assembly into loadable DPU programs
 //     (the paper's custom lexer/parser/assembler/linker).
 //   - NewKernel starts the typed kernel builder used by the PrIM suite.
-//   - NewSystem allocates a host plus a set of simulated DPUs and runs
-//     kernels under the Table I microarchitecture model: revolver
-//     scheduling, odd/even register-file hazards, WRAM/IRAM scratchpads,
-//     a DDR4-2400 MRAM bank with FR-FCFS, and asymmetric CPU<->DPU links.
-//   - RunBenchmark executes one of the 16 PrIM workloads with golden-model
-//     verification; RunExperiment regenerates any of the paper's tables
-//     and figures.
+//   - NewSystem allocates a host plus a set of simulated DPUs for running
+//     hand-written kernels; System.Launch(ctx) executes them.
 //
-// Case-study hardware is a configuration away: Config.WithILP("DRSF") for
-// the Fig 12 ILP ladder, Mode = ModeCache for the on-demand-cache design,
-// Mode = ModeSIMT (+ SIMTCoalesce) for the vector engine, MMU.Enable for
+// Case-study hardware is a configuration away: WithILP("DRSF") for the
+// Fig 12 ILP ladder, WithMode(ModeCache) for the on-demand-cache design,
+// WithMode(ModeSIMT) (+ SIMTCoalesce) for the vector engine, MMU.Enable for
 // address translation.
 package upim
 
 import (
+	"context"
+
 	"upim/internal/asm"
 	"upim/internal/config"
+	"upim/internal/core"
 	"upim/internal/figures"
 	"upim/internal/host"
 	"upim/internal/kbuild"
@@ -32,6 +54,20 @@ import (
 	"upim/internal/mem"
 	"upim/internal/prim"
 	"upim/internal/stats"
+)
+
+// Typed sentinel errors; match with errors.Is.
+var (
+	// ErrUnknownBenchmark reports a benchmark name outside the PrIM suite.
+	ErrUnknownBenchmark = prim.ErrUnknownBenchmark
+	// ErrUnsupportedMode reports a (benchmark, memory mode) combination with
+	// no kernel variant (e.g. SIMT on anything but GEMV).
+	ErrUnsupportedMode = prim.ErrUnsupportedMode
+	// ErrTooManyTasklets reports a tasklet count above a benchmark's
+	// WRAM-footprint limit.
+	ErrTooManyTasklets = prim.ErrTooManyTasklets
+	// ErrWatchdogExpired reports a kernel that exceeded its cycle budget.
+	ErrWatchdogExpired = core.ErrWatchdogExpired
 )
 
 // Config is the full DPU/system hardware configuration (defaults = the
@@ -105,8 +141,17 @@ const (
 	ScalePaper = prim.ScalePaper
 )
 
+// Result is one verified PrIM run: the benchmark identity, the phase-
+// bucketed timing report, and aggregate plus per-DPU statistics.
+type Result = prim.Result
+
 // BenchmarkResult is one verified PrIM run.
+//
+// Deprecated: use Result.
 type BenchmarkResult = prim.Result
+
+// CacheStats counts a Runner's build-cache activity.
+type CacheStats = prim.CacheStats
 
 // Benchmarks lists the PrIM suite in Table II order.
 func Benchmarks() []string {
@@ -119,8 +164,13 @@ func Benchmarks() []string {
 
 // RunBenchmark executes one PrIM workload on n DPUs and verifies its output
 // against the host golden model.
+//
+// Deprecated: use Runner.Run, which adds cancellation, kernel build caching
+// and concurrent sweeps.
 func RunBenchmark(name string, cfg Config, nDPUs int, scale Scale) (*BenchmarkResult, error) {
-	return prim.Run(name, cfg, nDPUs, scale)
+	return prim.RunSpec(context.Background(), prim.Spec{
+		Benchmark: name, Config: cfg, DPUs: nDPUs, Scale: scale,
+	})
 }
 
 // Experiment regenerates one of the paper's tables or figures.
@@ -135,12 +185,20 @@ type ResultTable = figures.Table
 // Experiments lists every reproducible table/figure.
 func Experiments() []Experiment { return figures.Experiments() }
 
-// RunExperiment regenerates one table/figure by ID (e.g. "fig5", "fig12",
-// "mmu", "table1").
-func RunExperiment(id string, opts ExperimentOptions) (*ResultTable, error) {
+// RunExperimentContext regenerates one table/figure by ID (e.g. "fig5",
+// "fig12", "mmu", "table1"), running its simulation points concurrently on
+// the shared sweep engine. Cancelling ctx aborts the experiment.
+func RunExperimentContext(ctx context.Context, id string, opts ExperimentOptions) (*ResultTable, error) {
 	e, err := figures.ByID(id)
 	if err != nil {
 		return nil, err
 	}
-	return e.Run(opts)
+	return e.Run(ctx, opts)
+}
+
+// RunExperiment regenerates one table/figure by ID.
+//
+// Deprecated: use RunExperimentContext.
+func RunExperiment(id string, opts ExperimentOptions) (*ResultTable, error) {
+	return RunExperimentContext(context.Background(), id, opts)
 }

@@ -1,8 +1,11 @@
 package upim_test
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
+	"time"
 
 	"upim"
 )
@@ -28,7 +31,7 @@ func TestFacadeAssembleLinkRun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := sys.Launch(); err != nil {
+	if err := sys.Launch(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	addr, err := sys.Program().SymbolAddr("out")
@@ -84,6 +87,65 @@ func TestFacadeExperiments(t *testing.T) {
 	}
 	if _, err := upim.RunExperiment("nope", upim.ExperimentOptions{}); err == nil {
 		t.Fatal("unknown experiment must error")
+	}
+}
+
+// hangSource spins forever: the probe for watchdog and cancellation paths.
+const hangSource = `
+loop:   jump loop
+`
+
+// hangSystem builds a one-DPU system running an infinite loop.
+func hangSystem(t *testing.T) *upim.System {
+	t.Helper()
+	obj, err := upim.Assemble("hang", hangSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := upim.DefaultConfig()
+	cfg.NumTasklets = 1
+	sys, err := upim.NewSystem(obj, cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// TestLaunchCancellation checks that cancelling the context aborts a hung
+// kernel promptly with ctx.Err() instead of spinning to the watchdog.
+func TestLaunchCancellation(t *testing.T) {
+	sys := hangSystem(t)
+	sys.SetWatchdog(1 << 62) // effectively no watchdog: only ctx can stop it
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	err := sys.Launch(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Launch under cancelled ctx = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v, want prompt return", elapsed)
+	}
+}
+
+// TestWatchdogTypedError checks that watchdog expiry is programmatically
+// matchable.
+func TestWatchdogTypedError(t *testing.T) {
+	sys := hangSystem(t)
+	sys.SetWatchdog(50_000)
+	err := sys.Launch(context.Background())
+	if !errors.Is(err, upim.ErrWatchdogExpired) {
+		t.Fatalf("hung kernel returned %v, want ErrWatchdogExpired", err)
+	}
+}
+
+func TestNilObjectRejected(t *testing.T) {
+	if _, err := upim.NewSystem(nil, upim.DefaultConfig(), 1); err == nil {
+		t.Fatal("NewSystem(nil, ...) must error")
 	}
 }
 
