@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench fmt vet
+.PHONY: build test bench fmt vet report refdata
 
 build:
 	$(GO) build ./...
@@ -16,3 +16,9 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+report:
+	$(GO) run ./cmd/figures -exp all -scale tiny -out report -check
+
+refdata:
+	$(GO) run ./cmd/figures -exp all -scale tiny -writeref internal/figures/refdata

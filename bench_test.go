@@ -1,13 +1,13 @@
 // Benchmarks regenerating every table and figure of the paper's evaluation.
-// Each testing.B below corresponds to one artifact (see DESIGN.md's
-// per-experiment index); headline numbers are attached as custom metrics so
-// `go test -bench=. -benchmem` doubles as a results report. Benchmarks run
-// at tiny scale to stay CI-sized; `cmd/figures -scale small|paper` produces
-// the EXPERIMENTS.md snapshots.
+// Each testing.B below corresponds to one artifact (see docs/ARCHITECTURE.md
+// for the figure-to-code map); headline numbers are attached as custom
+// metrics so `go test -bench=. -benchmem` doubles as a results report.
+// Benchmarks run at tiny scale to stay CI-sized; `cmd/figures -scale
+// small|paper -out DIR` exports the full artifact report.
 package upim_test
 
 import (
-	"strconv"
+	"strings"
 	"testing"
 	"time"
 
@@ -28,17 +28,13 @@ func runExp(b *testing.B, id string, names ...string) *upim.ResultTable {
 	return tab
 }
 
-// metric parses a table cell like "42.0%" or "3.14" into a float.
-func metric(cell string) float64 {
-	s := cell
-	if n := len(s); n > 0 && s[n-1] == '%' {
-		s = s[:n-1]
+// metric reports a cell's numeric value, in percentage points for cells
+// displayed as percentages.
+func metric(cell upim.ArtifactValue) float64 {
+	if strings.HasSuffix(cell.Text, "%") {
+		return cell.Num * 100
 	}
-	v, err := strconv.ParseFloat(s, 64)
-	if err != nil {
-		return 0
-	}
-	return v
+	return cell.Num
 }
 
 // BenchmarkTable1_Config regenerates Table I (simulator configuration).
@@ -58,10 +54,10 @@ func BenchmarkValidation(b *testing.B) {
 func BenchmarkFig5_Utilization(b *testing.B) {
 	tab := runExp(b, "fig5", "VA", "GEMV", "BS", "SpMV")
 	for _, row := range tab.Rows {
-		if row[0] == "BS" && row[1] == "16" {
+		if row[0].Text == "BS" && row[1].Text == "16" {
 			b.ReportMetric(metric(row[3]), "BS-mem-util-%")
 		}
-		if row[0] == "GEMV" && row[1] == "16" {
+		if row[0].Text == "GEMV" && row[1].Text == "16" {
 			b.ReportMetric(metric(row[2]), "GEMV-compute-util-%")
 		}
 	}
@@ -71,7 +67,7 @@ func BenchmarkFig5_Utilization(b *testing.B) {
 func BenchmarkFig6_LatencyBreakdown(b *testing.B) {
 	tab := runExp(b, "fig6", "BS", "GEMV", "HST-L")
 	for _, row := range tab.Rows {
-		if row[0] == "BS" && row[1] == "16" {
+		if row[0].Text == "BS" && row[1].Text == "16" {
 			b.ReportMetric(metric(row[3]), "BS-idle-mem-%")
 		}
 	}
@@ -81,7 +77,7 @@ func BenchmarkFig6_LatencyBreakdown(b *testing.B) {
 func BenchmarkFig7_TLPHistogram(b *testing.B) {
 	tab := runExp(b, "fig7", "BS", "GEMV")
 	for _, row := range tab.Rows {
-		b.ReportMetric(metric(row[len(row)-1]), row[0]+"-avg-issuable")
+		b.ReportMetric(metric(row[len(row)-1]), row[0].Text+"-avg-issuable")
 	}
 }
 
@@ -92,10 +88,10 @@ func BenchmarkFig8_TLPTimeline(b *testing.B) { runExp(b, "fig8") }
 func BenchmarkFig9_InstructionMix(b *testing.B) {
 	tab := runExp(b, "fig9", "BFS", "HST-L", "GEMV")
 	for _, row := range tab.Rows {
-		if row[0] == "HST-L" {
+		if row[0].Text == "HST-L" {
 			b.ReportMetric(metric(row[6]), "HSTL-sync-%")
 		}
-		if row[0] == "BFS" {
+		if row[0].Text == "BFS" {
 			b.ReportMetric(metric(row[5]), "BFS-dma-%")
 		}
 	}
@@ -105,8 +101,8 @@ func BenchmarkFig9_InstructionMix(b *testing.B) {
 func BenchmarkFig10_StrongScaling(b *testing.B) {
 	tab := runExp(b, "fig10", "VA", "BS")
 	for _, row := range tab.Rows {
-		if row[1] == "64" {
-			b.ReportMetric(metric(row[7]), row[0]+"-speedup-64dpu")
+		if row[1].Text == "64" {
+			b.ReportMetric(metric(row[7]), row[0].Text+"-speedup-64dpu")
 		}
 	}
 }
@@ -115,7 +111,7 @@ func BenchmarkFig10_StrongScaling(b *testing.B) {
 func BenchmarkFig11_SIMT(b *testing.B) {
 	tab := runExp(b, "fig11")
 	for _, row := range tab.Rows {
-		switch row[0] {
+		switch row[0].Text {
 		case "SIMT":
 			b.ReportMetric(metric(row[5]), "SIMT-speedup")
 		case "SIMT+AC":
@@ -130,8 +126,8 @@ func BenchmarkFig11_SIMT(b *testing.B) {
 func BenchmarkFig12_ILPAblation(b *testing.B) {
 	tab := runExp(b, "fig12", "GEMV", "TS", "BS")
 	for _, row := range tab.Rows {
-		if row[1] == "Base+D+R+S+F" {
-			b.ReportMetric(metric(row[6]), row[0]+"-DRSF-speedup")
+		if row[1].Text == "Base+D+R+S+F" {
+			b.ReportMetric(metric(row[6]), row[0].Text+"-DRSF-speedup")
 		}
 	}
 }
@@ -140,7 +136,7 @@ func BenchmarkFig12_ILPAblation(b *testing.B) {
 func BenchmarkFig13_BandwidthScaling(b *testing.B) {
 	tab := runExp(b, "fig13", "BS", "TS")
 	for _, row := range tab.Rows {
-		if row[0] == "BS" && row[1] == "Base" {
+		if row[0].Text == "BS" && row[1].Text == "Base" {
 			b.ReportMetric(metric(row[4]), "BS-base-x4-speedup")
 		}
 	}
@@ -150,10 +146,10 @@ func BenchmarkFig13_BandwidthScaling(b *testing.B) {
 func BenchmarkCaseStudyMMU(b *testing.B) {
 	tab := runExp(b, "mmu", "VA", "BS", "SpMV", "GEMV")
 	for _, row := range tab.Rows {
-		if row[0] == "average" {
+		if row[0].Text == "average" {
 			b.ReportMetric(metric(row[1]), "avg-slowdown-%")
 		}
-		if row[0] == "max" {
+		if row[0].Text == "max" {
 			b.ReportMetric(metric(row[1]), "max-slowdown-%")
 		}
 	}
@@ -163,8 +159,8 @@ func BenchmarkCaseStudyMMU(b *testing.B) {
 func BenchmarkFig15_CacheVsScratchpad(b *testing.B) {
 	tab := runExp(b, "fig15", "BS", "UNI", "VA")
 	for _, row := range tab.Rows {
-		if row[1] == "16" {
-			b.ReportMetric(metric(row[4]), row[0]+"-cache-speedup")
+		if row[1].Text == "16" {
+			b.ReportMetric(metric(row[4]), row[0].Text+"-cache-speedup")
 		}
 	}
 }
@@ -173,8 +169,8 @@ func BenchmarkFig15_CacheVsScratchpad(b *testing.B) {
 func BenchmarkFig16_BytesRead(b *testing.B) {
 	tab := runExp(b, "fig16")
 	for _, row := range tab.Rows {
-		if row[1] == "16" {
-			b.ReportMetric(metric(row[4]), row[0]+"-byte-ratio")
+		if row[1].Text == "16" {
+			b.ReportMetric(metric(row[4]), row[0].Text+"-byte-ratio")
 		}
 	}
 }

@@ -1,13 +1,21 @@
 // Command figures regenerates the paper's evaluation artifacts: every table
 // and figure has a corresponding experiment (see -list). Results print as
-// aligned text tables; EXPERIMENTS.md records a snapshot next to the paper's
-// reported numbers.
+// aligned text tables, export as a browsable report (-out: per-figure
+// CSV + JSON + Markdown plus an index.md mapping artifacts to paper figure
+// numbers), and validate against the committed tiny-scale reference results
+// (-check), turning the whole figure suite into a regression oracle.
 //
 // Usage:
 //
 //	figures -list
 //	figures -exp fig12 -scale small
 //	figures -exp all -scale tiny -bench VA,BS
+//	figures -exp all -scale tiny -out /tmp/report -check
+//
+// Maintainers regenerate the reference artifacts (only when a simulation
+// change is meant to move the figures) with:
+//
+//	figures -exp all -scale tiny -writeref internal/figures/refdata
 package main
 
 import (
@@ -16,18 +24,24 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 
 	"upim"
+	"upim/internal/figures/refdata"
 )
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment id (see -list) or 'all'")
-		scale = flag.String("scale", "tiny", "dataset scale: tiny, small or paper")
-		bench = flag.String("bench", "", "comma-separated benchmark subset (default: all 16)")
-		jobs  = flag.Int("jobs", 0, "concurrent simulation points (0 = GOMAXPROCS)")
-		list  = flag.Bool("list", false, "list available experiments")
+		exp      = flag.String("exp", "all", "experiment id (see -list) or 'all'")
+		scale    = flag.String("scale", "tiny", "dataset scale: tiny, small or paper")
+		bench    = flag.String("bench", "", "comma-separated benchmark subset (default: all 16)")
+		jobs     = flag.Int("jobs", 0, "concurrent simulation points (0 = GOMAXPROCS)")
+		list     = flag.Bool("list", false, "list available experiments")
+		out      = flag.String("out", "", "write a browsable report (CSV+JSON+Markdown+index.md) into this directory")
+		check    = flag.Bool("check", false, "validate results against the committed reference artifacts")
+		eps      = flag.Float64("eps", 0, "relative tolerance for -check (0 = the 1% default)")
+		writeref = flag.String("writeref", "", "write reference JSON artifacts into this directory (maintainers only)")
 	)
 	flag.Parse()
 
@@ -36,6 +50,10 @@ func main() {
 			fmt.Printf("%-12s %s\n", e.ID, e.About)
 		}
 		return
+	}
+	if (*check || *writeref != "") && *bench != "" {
+		fmt.Fprintln(os.Stderr, "figures: -check/-writeref compare full-suite tables; drop -bench")
+		os.Exit(2)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -49,6 +67,7 @@ func main() {
 		opts.Benchmarks = strings.Split(*bench, ",")
 	}
 
+	var tables []*upim.ResultTable
 	run := func(id string) {
 		tab, err := upim.RunExperimentContext(ctx, id, opts)
 		if err != nil {
@@ -56,12 +75,56 @@ func main() {
 			os.Exit(1)
 		}
 		tab.Fprint(os.Stdout)
+		tables = append(tables, tab)
 	}
 	if *exp == "all" {
 		for _, e := range upim.Experiments() {
 			run(e.ID)
 		}
-		return
+	} else {
+		run(*exp)
 	}
-	run(*exp)
+
+	if *out != "" {
+		if err := upim.WriteReport(*out, tables); err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "figures: wrote %d artifacts + index.md to %s\n", len(tables), *out)
+	}
+	if *writeref != "" {
+		if err := os.MkdirAll(*writeref, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
+		for _, tab := range tables {
+			path := filepath.Join(*writeref, refdata.FileName(tab.Key, tab.Scale))
+			f, err := os.Create(path)
+			if err == nil {
+				err = tab.WriteJSON(f)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "figures:", err)
+				os.Exit(1)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "figures: wrote %d reference artifacts to %s\n", len(tables), *writeref)
+	}
+	if *check {
+		failed := 0
+		for _, tab := range tables {
+			if err := upim.CheckArtifact(tab, *eps); err != nil {
+				fmt.Fprintf(os.Stderr, "figures: check FAILED: %v\n", err)
+				failed++
+			}
+		}
+		if failed > 0 {
+			fmt.Fprintf(os.Stderr, "figures: %d/%d artifacts deviate from the reference\n", failed, len(tables))
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "figures: all %d artifacts match the reference\n", len(tables))
+	}
 }

@@ -3,7 +3,9 @@
 // compute-vs-memory-bound split (Section IV-A).
 //
 // The suite runs concurrently on the Runner's worker pool; Ctrl-C cancels
-// in-flight simulations.
+// in-flight simulations. With -out DIR the full per-benchmark results —
+// phase timings plus every stats counter — are exported as a browsable
+// artifact report (CSV + JSON + Markdown + index.md) via upim.SuiteTable.
 package main
 
 import (
@@ -23,6 +25,7 @@ func main() {
 		cache   = flag.Bool("cache", false, "use the cache-centric memory model")
 		scale   = flag.String("scale", "tiny", "dataset scale: tiny, small or paper")
 		jobs    = flag.Int("jobs", 0, "concurrent simulation points (0 = GOMAXPROCS)")
+		out     = flag.String("out", "", "export the suite results as an artifact report into this directory")
 	)
 	flag.Parse()
 
@@ -80,6 +83,22 @@ func main() {
 				name, res.Stats.Instructions, res.Stats.Cycles, res.Stats.IPC(),
 				float64(res.Stats.DRAM.BytesRead)/1e6, "PASS")
 		}
+	}
+	if *out != "" {
+		suite := make([]*upim.Result, 0, len(results))
+		for i := range results {
+			if done[i] && results[i].Err == nil {
+				suite = append(suite, results[i].Result)
+			}
+		}
+		tab := upim.SuiteTable(fmt.Sprintf("PrIM suite at scale %q, %d tasklets, %d DPUs", *scale, *threads, *dpus), suite)
+		tab.Key = "prim"
+		tab.Scale = *scale
+		if err := upim.WriteReport(*out, []*upim.ResultTable{tab}); err != nil {
+			fmt.Fprintln(os.Stderr, "prim:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "prim: wrote suite artifacts to %s\n", *out)
 	}
 	if failed > 0 {
 		os.Exit(1)

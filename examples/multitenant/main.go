@@ -16,6 +16,9 @@
 //     by the host) costs only a small slowdown, matching the paper's
 //     "average 0.8%, max 14.1%" finding.
 //
+// Tenant runs go through upim.NewRunner + Runner.Run, with the MMU and
+// memory mode selected per tenant via functional options.
+//
 // Run with: go run ./examples/multitenant
 package main
 

@@ -3,6 +3,11 @@
 // by the custom toolchain, loaded onto one simulated DPU, and executed with
 // full cycle-level statistics.
 //
+// This is the toolchain-level path (Assemble/Link/NewSystem) for running
+// hand-written kernels. The verified PrIM workloads skip this plumbing:
+// construct a upim.NewRunner and call Run/RunSuite/Sweep — see the other
+// examples.
+//
 // Run with: go run ./examples/quickstart
 package main
 

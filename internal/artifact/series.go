@@ -1,0 +1,70 @@
+package artifact
+
+import "fmt"
+
+// Axis is one plot axis: a label plus an optional unit.
+type Axis struct {
+	Label string `json:"label"`
+	Unit  string `json:"unit,omitempty"`
+}
+
+// Series is a named sequence of (x, y) points with axis metadata — the
+// line-chart view of a table, one series per group value.
+type Series struct {
+	Name string    `json:"name"`
+	X    Axis      `json:"x"`
+	Y    Axis      `json:"y"`
+	Xs   []float64 `json:"xs"`
+	Ys   []float64 `json:"ys"`
+}
+
+// Series extracts per-group line series from the table: rows are grouped by
+// the group column's display text (preserving first-appearance order), and
+// each row contributes one (x, y) point taken from the named columns' numeric
+// values. Rows whose x or y cell is not numeric are skipped. Axis metadata
+// comes from the columns.
+func (t *Table) Series(group, x, y string) ([]Series, error) {
+	gi, err := t.colIndex(group)
+	if err != nil {
+		return nil, err
+	}
+	xi, err := t.colIndex(x)
+	if err != nil {
+		return nil, err
+	}
+	yi, err := t.colIndex(y)
+	if err != nil {
+		return nil, err
+	}
+	xAxis := Axis{Label: t.Columns[xi].Name, Unit: t.Columns[xi].Unit}
+	yAxis := Axis{Label: t.Columns[yi].Name, Unit: t.Columns[yi].Unit}
+	var out []Series
+	index := map[string]int{}
+	for _, row := range t.Rows {
+		if gi >= len(row) || xi >= len(row) || yi >= len(row) {
+			continue
+		}
+		if !row[xi].Numeric || !row[yi].Numeric {
+			continue
+		}
+		name := row[gi].Text
+		si, ok := index[name]
+		if !ok {
+			si = len(out)
+			index[name] = si
+			out = append(out, Series{Name: name, X: xAxis, Y: yAxis})
+		}
+		out[si].Xs = append(out[si].Xs, row[xi].Num)
+		out[si].Ys = append(out[si].Ys, row[yi].Num)
+	}
+	return out, nil
+}
+
+func (t *Table) colIndex(name string) (int, error) {
+	for i, c := range t.Columns {
+		if c.Name == name {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("artifact: table %q has no column %q", t.Key, name)
+}

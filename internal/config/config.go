@@ -1,13 +1,3 @@
-// Package config holds the simulator configuration — defaults mirror the
-// paper's Table I — and the exact-integer clocking model used to relate the
-// DPU and DRAM clock domains.
-//
-// Clocking: the simulator's base time unit is the "tick", defined so that
-// every clock frequency used anywhere in the paper divides it exactly:
-// 134,400 MHz = lcm(350, 700, 1200, 4800, 19200) MHz. A 350 MHz DPU cycle is
-// 384 ticks, a DDR4-2400 command clock (1200 MHz) is 112 ticks, and the
-// frequency-doubled (Fig 12 "F") and DRAM-scaled (Fig 11 4x/16x) variants
-// stay integral. Integer ticks keep long runs free of floating-point drift.
 package config
 
 import "fmt"

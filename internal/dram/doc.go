@@ -1,0 +1,15 @@
+// Package dram models the per-DPU MRAM bank: a single DDR4-2400 DRAM bank
+// with a 1KB row buffer, FR-FCFS request scheduling, optional refresh, and
+// the bandwidth-capped MRAM<->WRAM link the DMA engine drains data through.
+//
+// Timing follows the paper's Table I (tRCD/tRAS/tRP/tCL/tBL expressed in
+// DRAM command-clock cycles at 1200 MHz); the simulator converts everything
+// into exact integer ticks (see internal/config). Requests are enqueued at
+// burst granularity (8 bytes by default); scheduling decisions are made
+// whenever the bank is free, choosing first-ready (open-row hits) then
+// first-come-first-serve, with an age cap so row misses cannot starve.
+//
+// The bank-level counters this package records (bytes moved, row
+// hits/misses/empties, refreshes) feed stats.DPU.DRAM and from there the
+// paper's bandwidth-utilization and traffic figures (Fig 5, Fig 16).
+package dram

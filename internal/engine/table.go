@@ -1,0 +1,49 @@
+package engine
+
+import (
+	"upim/internal/artifact"
+	"upim/internal/prim"
+)
+
+// ResultsTable assembles suite/sweep results into a typed artifact table:
+// identity columns, the phase-bucketed timing report, and every stats
+// counter in the stable order stats.DPU.Counters defines. Nil results
+// (cancelled or failed points) are skipped. The table renders to CSV, JSON,
+// Markdown and console text like any experiment artifact.
+func ResultsTable(title string, results []*prim.Result) *artifact.Table {
+	t := &artifact.Table{
+		Key: "results", ID: "Suite", Title: title,
+		Columns: []artifact.Column{
+			{Name: "benchmark"}, {Name: "mode"}, {Name: "tasklets"}, {Name: "DPUs"},
+			{Name: "kernel", Unit: "ms"}, {Name: "CPU-to-DPU", Unit: "ms"},
+			{Name: "DPU-to-CPU", Unit: "ms"}, {Name: "DPU-to-DPU", Unit: "ms"},
+			{Name: "total", Unit: "ms"},
+		},
+	}
+	counterCols := false
+	for _, res := range results {
+		if res == nil {
+			continue
+		}
+		if !counterCols {
+			for _, c := range res.Stats.Counters() {
+				t.Columns = append(t.Columns, artifact.Column{Name: c.Name})
+			}
+			counterCols = true
+		}
+		row := []artifact.Value{
+			artifact.Str(res.Benchmark), artifact.Str(res.Mode.String()),
+			artifact.Int(res.Tasklets), artifact.Int(res.DPUs),
+			artifact.Num(res.Report.KernelSeconds * 1e3),
+			artifact.Num(res.Report.TransferSeconds[0] * 1e3),
+			artifact.Num(res.Report.TransferSeconds[1] * 1e3),
+			artifact.Num(res.Report.TransferSeconds[2] * 1e3),
+			artifact.Num(res.Report.Total() * 1e3),
+		}
+		for _, c := range res.Stats.Counters() {
+			row = append(row, artifact.Num(c.Value))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}

@@ -1,0 +1,71 @@
+package engine
+
+import (
+	"context"
+	"testing"
+
+	"upim/internal/config"
+	"upim/internal/prim"
+)
+
+func TestResultsTableShape(t *testing.T) {
+	a := &prim.Result{
+		Benchmark: "VA", Mode: config.ModeScratchpad, Tasklets: 16, DPUs: 4,
+	}
+	a.Report.KernelSeconds = 0.002
+	a.Report.TransferSeconds = [3]float64{0.001, 0.0005, 0}
+	a.Stats.Cycles = 1000
+	a.Stats.Instructions = 800
+	b := &prim.Result{Benchmark: "BS", Mode: config.ModeCache, Tasklets: 1, DPUs: 1}
+
+	tab := ResultsTable("demo suite", []*prim.Result{a, nil, b})
+	wantCols := 9 + len(a.Stats.Counters())
+	if len(tab.Columns) != wantCols {
+		t.Fatalf("columns = %d, want %d (identity+timing+counters)", len(tab.Columns), wantCols)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("nil results must be skipped: %d rows", len(tab.Rows))
+	}
+	if tab.Rows[0][0].Text != "VA" || tab.Rows[1][0].Text != "BS" {
+		t.Fatalf("row identity: %v / %v", tab.Rows[0][0], tab.Rows[1][0])
+	}
+	if got := tab.Cell(0, "total"); !got.Numeric || got.Num != 3.5 {
+		t.Fatalf("total ms = %+v, want 3.5", got)
+	}
+	if got := tab.Cell(0, "ipc"); got.Num != 0.8 {
+		t.Fatalf("ipc counter = %+v, want 0.8", got)
+	}
+	if got := tab.Cell(1, "mode"); got.Text != config.ModeCache.String() {
+		t.Fatalf("mode cell = %+v", got)
+	}
+}
+
+// TestResultsTableFromSweep runs a real two-point sweep and checks the
+// artifact comes out exportable end to end.
+func TestResultsTableFromSweep(t *testing.T) {
+	e := New(2)
+	cfg := config.Default()
+	cfg.NumTasklets = 4
+	pts := []Point{
+		{Benchmark: "VA", Config: cfg, DPUs: 1, Scale: prim.ScaleTiny},
+		{Benchmark: "RED", Config: cfg, DPUs: 2, Scale: prim.ScaleTiny},
+	}
+	outs, err := e.SweepAll(context.Background(), pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := make([]*prim.Result, len(outs))
+	for i, o := range outs {
+		results[i] = o.Result
+	}
+	tab := ResultsTable("sweep", results)
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	if v := tab.Cell(0, "cycles"); !v.Numeric || v.Num <= 0 {
+		t.Fatalf("cycles must be populated: %+v", v)
+	}
+	if v := tab.Cell(1, "DPUs"); v.Num != 2 {
+		t.Fatalf("DPUs = %+v, want 2", v)
+	}
+}

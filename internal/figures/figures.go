@@ -4,6 +4,12 @@
 // concurrent sweep engine, which runs them on a bounded worker pool with a
 // shared kernel build cache. Experiments are cancellable through their
 // context.
+//
+// Drivers return artifact.Table values: typed grids whose numeric cells keep
+// their exact values alongside the display formatting, so the same result
+// renders to the CLI, exports to CSV/JSON/Markdown (cmd/figures -out), and
+// validates against the embedded reference results (Check, cmd/figures
+// -check).
 package figures
 
 import (
@@ -11,12 +17,16 @@ import (
 	"fmt"
 	"sort"
 
+	"upim/internal/artifact"
 	"upim/internal/config"
 	"upim/internal/engine"
 	"upim/internal/isa"
 	"upim/internal/prim"
 	"upim/internal/stats"
 )
+
+// Table is the typed experiment result grid (see internal/artifact).
+type Table = artifact.Table
 
 // Options parameterize an experiment run.
 type Options struct {
@@ -110,6 +120,17 @@ func baseCfg(threads int) config.Config {
 	return cfg
 }
 
+// newTable starts an experiment table stamped with the dataset scale it was
+// generated at (reference validation refuses cross-scale comparisons).
+func newTable(key, id, title string, o Options, cols ...artifact.Column) *Table {
+	return &Table{Key: key, ID: id, Title: title, Scale: o.Scale.String(), Columns: cols}
+}
+
+// cols builds unit-less columns; col one annotated column.
+func cols(names ...string) []artifact.Column { return artifact.Cols(names...) }
+
+func col(name, unit string) artifact.Column { return artifact.Column{Name: name, Unit: unit} }
+
 // pt declares one sweep point.
 func pt(name string, cfg config.Config, dpus int, scale prim.Scale) engine.Point {
 	return engine.Point{Benchmark: name, Config: cfg, DPUs: dpus, Scale: scale}
@@ -136,10 +157,8 @@ var sweepThreads = []int{1, 4, 16}
 // Fig5 reports compute utilization (IPC / peak) and DRAM read bandwidth
 // utilization (vs the ~600 MB/s the paper normalizes against).
 func Fig5(ctx context.Context, o Options) (*Table, error) {
-	t := &Table{
-		ID: "Figure 5", Title: "compute (IPC) and memory (DRAM read BW) utilization, 1/4/16 threads",
-		Header: []string{"benchmark", "threads", "compute util", "memory util", "IPC"},
-	}
+	t := newTable("fig5", "Figure 5", "compute (IPC) and memory (DRAM read BW) utilization, 1/4/16 threads", o,
+		cols("benchmark", "threads", "compute util", "memory util", "IPC")...)
 	var pts []engine.Point
 	for _, name := range o.names() {
 		for _, th := range sweepThreads {
@@ -156,22 +175,20 @@ func Fig5(ctx context.Context, o Options) (*Table, error) {
 		// hardware; we use the modeled ceiling so the utilization is bounded
 		// by 100%).
 		peakBytesPerCycle := float64(pts[i].Config.LinkBytesPerCycle)
-		t.Rows = append(t.Rows, []string{
-			res.Benchmark, fmt.Sprint(res.Tasklets),
-			Pct(res.Stats.ComputeUtilization(1)),
-			Pct(res.Stats.MemoryReadBandwidthUtilization(peakBytesPerCycle)),
-			Cell(res.Stats.IPC()),
-		})
+		t.AddRow(
+			artifact.Str(res.Benchmark), artifact.Int(res.Tasklets),
+			artifact.Pct(res.Stats.ComputeUtilization(1)),
+			artifact.Pct(res.Stats.MemoryReadBandwidthUtilization(peakBytesPerCycle)),
+			artifact.Num(res.Stats.IPC()),
+		)
 	}
 	return t, nil
 }
 
 // Fig6 reports the issue-slot breakdown.
 func Fig6(ctx context.Context, o Options) (*Table, error) {
-	t := &Table{
-		ID: "Figure 6", Title: "issue-slot breakdown: issuable vs idle(memory/revolver/RF)",
-		Header: []string{"benchmark", "threads", "issuable", "idle(mem)", "idle(revolver)", "idle(RF)"},
-	}
+	t := newTable("fig6", "Figure 6", "issue-slot breakdown: issuable vs idle(memory/revolver/RF)", o,
+		cols("benchmark", "threads", "issuable", "idle(mem)", "idle(revolver)", "idle(RF)")...)
 	var pts []engine.Point
 	for _, name := range o.names() {
 		for _, th := range sweepThreads {
@@ -184,19 +201,18 @@ func Fig6(ctx context.Context, o Options) (*Table, error) {
 	}
 	for _, res := range results {
 		issued, mem, rev, rf := res.Stats.Breakdown()
-		t.Rows = append(t.Rows, []string{
-			res.Benchmark, fmt.Sprint(res.Tasklets), Pct(issued), Pct(mem), Pct(rev), Pct(rf),
-		})
+		t.AddRow(
+			artifact.Str(res.Benchmark), artifact.Int(res.Tasklets),
+			artifact.Pct(issued), artifact.Pct(mem), artifact.Pct(rev), artifact.Pct(rf),
+		)
 	}
 	return t, nil
 }
 
 // Fig7 reports the issuable-thread histogram and average at 16 threads.
 func Fig7(ctx context.Context, o Options) (*Table, error) {
-	t := &Table{
-		ID: "Figure 7", Title: "issuable threads per cycle, 16 threads",
-		Header: []string{"benchmark", "0", "1~4", "5~8", "9~12", "13~16", "17~24", "avg"},
-	}
+	t := newTable("fig7", "Figure 7", "issuable threads per cycle, 16 threads", o,
+		cols("benchmark", "0", "1~4", "5~8", "9~12", "13~16", "17~24", "avg")...)
 	var pts []engine.Point
 	for _, name := range o.names() {
 		pts = append(pts, pt(name, baseCfg(16), 1, o.Scale))
@@ -206,29 +222,27 @@ func Fig7(ctx context.Context, o Options) (*Table, error) {
 		return nil, err
 	}
 	for _, res := range results {
-		row := []string{res.Benchmark}
+		row := []artifact.Value{artifact.Str(res.Benchmark)}
 		var total uint64
 		for _, c := range res.Stats.TLPHist {
 			total += c
 		}
 		for _, c := range res.Stats.TLPHist {
-			row = append(row, Pct(float64(c)/float64(max(total, 1))))
+			row = append(row, artifact.Pct(float64(c)/float64(max(total, 1))))
 		}
-		row = append(row, Cell(res.Stats.AvgIssuable()))
-		t.Rows = append(t.Rows, row)
+		row = append(row, artifact.Num(res.Stats.AvgIssuable()))
+		t.AddRow(row...)
 	}
 	return t, nil
 }
 
 // Fig8 samples the TLP timeline for the paper's three exemplars.
 func Fig8(ctx context.Context, o Options) (*Table, error) {
-	t := &Table{
-		ID: "Figure 8", Title: "issuable threads over time (normalized run, 16 samples)",
-		Header: []string{"benchmark"},
-	}
+	colList := []artifact.Column{{Name: "benchmark"}}
 	for i := 0; i < 16; i++ {
-		t.Header = append(t.Header, fmt.Sprintf("t%d", i))
+		colList = append(colList, col(fmt.Sprintf("t%d", i), "threads"))
 	}
+	t := newTable("fig8", "Figure 8", "issuable threads over time (normalized run, 16 samples)", o, colList...)
 	names := []string{"BS", "GEMV", "SCAN-SSA"}
 	if len(o.Benchmarks) > 0 {
 		names = o.Benchmarks
@@ -251,26 +265,24 @@ func Fig8(ctx context.Context, o Options) (*Table, error) {
 				break
 			}
 		}
-		row := []string{res.Benchmark}
+		row := []artifact.Value{artifact.Str(res.Benchmark)}
 		for i := 0; i < 16; i++ {
 			if len(series) == 0 {
-				row = append(row, "-")
+				row = append(row, artifact.Str("-"))
 				continue
 			}
 			idx := i * len(series) / 16
-			row = append(row, Cell(float64(series[idx])))
+			row = append(row, artifact.Num(float64(series[idx])))
 		}
-		t.Rows = append(t.Rows, row)
+		t.AddRow(row...)
 	}
 	return t, nil
 }
 
 // Fig9 reports the instruction mix.
 func Fig9(ctx context.Context, o Options) (*Table, error) {
-	t := &Table{
-		ID: "Figure 9", Title: "instruction mix (single DPU, 16 threads)",
-		Header: []string{"benchmark", "arith", "arith+branch", "mul/div", "ld/st", "DMA", "sync", "etc"},
-	}
+	t := newTable("fig9", "Figure 9", "instruction mix (single DPU, 16 threads)", o,
+		cols("benchmark", "arith", "arith+branch", "mul/div", "ld/st", "DMA", "sync", "etc")...)
 	var pts []engine.Point
 	for _, name := range o.names() {
 		pts = append(pts, pt(name, baseCfg(16), 1, o.Scale))
@@ -281,11 +293,11 @@ func Fig9(ctx context.Context, o Options) (*Table, error) {
 	}
 	for _, res := range results {
 		mix := res.Stats.MixFractions()
-		row := []string{res.Benchmark}
+		row := []artifact.Value{artifact.Str(res.Benchmark)}
 		for c := 0; c < isa.NumClasses; c++ {
-			row = append(row, Pct(mix[c]))
+			row = append(row, artifact.Pct(mix[c]))
 		}
-		t.Rows = append(t.Rows, row)
+		t.AddRow(row...)
 	}
 	return t, nil
 }
@@ -294,10 +306,10 @@ var fig10DPUs = []int{1, 16, 64}
 
 // Fig10 reports multi-DPU strong scaling.
 func Fig10(ctx context.Context, o Options) (*Table, error) {
-	t := &Table{
-		ID: "Figure 10", Title: "strong scaling over 1/16/64 DPUs: phase times (ms) and speedup",
-		Header: []string{"benchmark", "DPUs", "kernel", "CPU-to-DPU", "DPU-to-CPU", "DPU-to-DPU", "total", "speedup"},
-	}
+	t := newTable("fig10", "Figure 10", "strong scaling over 1/16/64 DPUs: phase times (ms) and speedup", o,
+		artifact.Column{Name: "benchmark"}, artifact.Column{Name: "DPUs"},
+		col("kernel", "ms"), col("CPU-to-DPU", "ms"), col("DPU-to-CPU", "ms"),
+		col("DPU-to-DPU", "ms"), col("total", "ms"), artifact.Column{Name: "speedup"})
 	var pts []engine.Point
 	for _, name := range o.names() {
 		for _, dpus := range fig10DPUs {
@@ -311,16 +323,16 @@ func Fig10(ctx context.Context, o Options) (*Table, error) {
 	for i, res := range results {
 		total := res.Report.Total()
 		base := results[i-i%len(fig10DPUs)].Report.Total()
-		ms := func(s float64) string { return Cell(s * 1e3) }
-		t.Rows = append(t.Rows, []string{
-			res.Benchmark, fmt.Sprint(res.DPUs),
+		ms := func(s float64) artifact.Value { return artifact.Num(s * 1e3) }
+		t.AddRow(
+			artifact.Str(res.Benchmark), artifact.Int(res.DPUs),
 			ms(res.Report.KernelSeconds),
 			ms(res.Report.TransferSeconds[0]),
 			ms(res.Report.TransferSeconds[1]),
 			ms(res.Report.TransferSeconds[2]),
 			ms(total),
-			Cell(base / total),
-		})
+			artifact.Num(base/total),
+		)
 	}
 	return t, nil
 }
@@ -329,10 +341,8 @@ func Fig10(ctx context.Context, o Options) (*Table, error) {
 
 // Fig11 runs the SIMT case study on GEMV.
 func Fig11(ctx context.Context, o Options) (*Table, error) {
-	t := &Table{
-		ID: "Figure 11", Title: "SIMT vector execution on GEMV (max IPC 16)",
-		Header: []string{"design", "IPC", "issuable", "idle(mem)", "idle(revolver)", "speedup"},
-	}
+	t := newTable("fig11", "Figure 11", "SIMT vector execution on GEMV (max IPC 16)", o,
+		cols("design", "IPC", "issuable", "idle(mem)", "idle(revolver)", "speedup")...)
 	type design struct {
 		name   string
 		mutate func(*config.Config)
@@ -377,10 +387,11 @@ func Fig11(ctx context.Context, o Options) (*Table, error) {
 	}
 	for i, res := range results {
 		issued, mem, rev, _ := res.Stats.Breakdown()
-		t.Rows = append(t.Rows, []string{
-			designs[i].name, Cell(res.Stats.IPC()), Pct(issued), Pct(mem), Pct(rev),
-			Cell(secs[0] / secs[i]),
-		})
+		t.AddRow(
+			artifact.Str(designs[i].name), artifact.Num(res.Stats.IPC()),
+			artifact.Pct(issued), artifact.Pct(mem), artifact.Pct(rev),
+			artifact.Num(secs[0]/secs[i]),
+		)
 	}
 	return t, nil
 }
@@ -401,10 +412,8 @@ func ilpLabel(v string) string {
 
 // Fig12 runs the ILP ablation.
 func Fig12(ctx context.Context, o Options) (*Table, error) {
-	t := &Table{
-		ID: "Figure 12", Title: "ILP ablation at 16 threads: D=forwarding R=unified RF S=2-way F=700MHz",
-		Header: []string{"benchmark", "design", "issuable", "idle(mem)", "idle(revolver)", "idle(RF)", "speedup"},
-	}
+	t := newTable("fig12", "Figure 12", "ILP ablation at 16 threads: D=forwarding R=unified RF S=2-way F=700MHz", o,
+		cols("benchmark", "design", "issuable", "idle(mem)", "idle(revolver)", "idle(RF)", "speedup")...)
 	var pts []engine.Point
 	for _, name := range o.names() {
 		for _, v := range ilpVariants {
@@ -420,11 +429,11 @@ func Fig12(ctx context.Context, o Options) (*Table, error) {
 		baseIdx := i - i%len(ilpVariants)
 		base := pts[baseIdx].Config.CyclesToSeconds(results[baseIdx].Stats.Cycles)
 		issued, mem, rev, rf := res.Stats.Breakdown()
-		t.Rows = append(t.Rows, []string{
-			res.Benchmark, ilpLabel(ilpVariants[i%len(ilpVariants)]),
-			Pct(issued), Pct(mem), Pct(rev), Pct(rf),
-			Cell(base / sec),
-		})
+		t.AddRow(
+			artifact.Str(res.Benchmark), artifact.Str(ilpLabel(ilpVariants[i%len(ilpVariants)])),
+			artifact.Pct(issued), artifact.Pct(mem), artifact.Pct(rev), artifact.Pct(rf),
+			artifact.Num(base/sec),
+		)
 	}
 	return t, nil
 }
@@ -433,10 +442,8 @@ var fig13LinkScales = []int{1, 2, 4}
 
 // Fig13 scales the MRAM-to-WRAM link bandwidth.
 func Fig13(ctx context.Context, o Options) (*Table, error) {
-	t := &Table{
-		ID: "Figure 13", Title: "speedup from scaling the MRAM-to-WRAM link x1/x2/x4",
-		Header: []string{"benchmark", "design", "x1", "x2", "x4"},
-	}
+	t := newTable("fig13", "Figure 13", "speedup from scaling the MRAM-to-WRAM link x1/x2/x4", o,
+		cols("benchmark", "design", "x1", "x2", "x4")...)
 	ilps := []string{"", "DRSF"}
 	var pts []engine.Point
 	for _, name := range o.names() {
@@ -455,22 +462,23 @@ func Fig13(ctx context.Context, o Options) (*Table, error) {
 	n := len(fig13LinkScales)
 	for i := 0; i < len(results); i += n {
 		base := pts[i].Config.CyclesToSeconds(results[i].Stats.Cycles)
-		row := []string{results[i].Benchmark, ilpLabel(ilps[(i/n)%len(ilps)])}
+		row := []artifact.Value{
+			artifact.Str(results[i].Benchmark),
+			artifact.Str(ilpLabel(ilps[(i/n)%len(ilps)])),
+		}
 		for j := i; j < i+n; j++ {
 			sec := pts[j].Config.CyclesToSeconds(results[j].Stats.Cycles)
-			row = append(row, Cell(base/sec))
+			row = append(row, artifact.Num(base/sec))
 		}
-		t.Rows = append(t.Rows, row)
+		t.AddRow(row...)
 	}
 	return t, nil
 }
 
 // MMUStudy quantifies address-translation overhead (case study 3).
 func MMUStudy(ctx context.Context, o Options) (*Table, error) {
-	t := &Table{
-		ID: "Case study 3", Title: "MMU overhead: 16-entry TLB, 4KB pages, demand paging",
-		Header: []string{"benchmark", "slowdown", "TLB hit rate", "walks", "faults"},
-	}
+	t := newTable("mmu", "Case study 3", "MMU overhead: 16-entry TLB, 4KB pages, demand paging", o,
+		cols("benchmark", "slowdown", "TLB hit rate", "walks", "faults")...)
 	var pts []engine.Point
 	for _, name := range o.names() {
 		pts = append(pts, pt(name, baseCfg(16), 1, o.Scale))
@@ -490,25 +498,24 @@ func MMUStudy(ctx context.Context, o Options) (*Table, error) {
 		over := float64(res.Stats.Cycles)/float64(base.Stats.Cycles) - 1
 		hits := float64(res.Stats.MMU.TLBHits)
 		hitRate := hits / max(hits+float64(res.Stats.MMU.TLBMisses), 1)
-		t.Rows = append(t.Rows, []string{
-			res.Benchmark, Pct(over), Pct(hitRate),
-			fmt.Sprint(res.Stats.MMU.TableWalks), fmt.Sprint(res.Stats.MMU.PageFaults),
-		})
+		t.AddRow(
+			artifact.Str(res.Benchmark), artifact.Pct(over), artifact.Pct(hitRate),
+			artifact.Int(res.Stats.MMU.TableWalks), artifact.Int(res.Stats.MMU.PageFaults),
+		)
 		sum += over
 		worst = max(worst, over)
 		n++
 	}
-	t.Rows = append(t.Rows, []string{"average", Pct(sum / float64(max(n, 1))), "", "", ""})
-	t.Rows = append(t.Rows, []string{"max", Pct(worst), "", "", ""})
+	t.AddRow(artifact.Str("average"), artifact.Pct(sum/float64(max(n, 1))), artifact.Str(""), artifact.Str(""), artifact.Str(""))
+	t.AddRow(artifact.Str("max"), artifact.Pct(worst), artifact.Str(""), artifact.Str(""), artifact.Str(""))
 	return t, nil
 }
 
 // Fig15 compares the cache-centric and scratchpad-centric designs.
 func Fig15(ctx context.Context, o Options) (*Table, error) {
-	t := &Table{
-		ID: "Figure 15", Title: "cache-centric speedup over scratchpad-centric (>1 favours caches)",
-		Header: []string{"benchmark", "threads", "scratchpad ms", "cache ms", "cache speedup"},
-	}
+	t := newTable("fig15", "Figure 15", "cache-centric speedup over scratchpad-centric (>1 favours caches)", o,
+		artifact.Column{Name: "benchmark"}, artifact.Column{Name: "threads"},
+		col("scratchpad", "ms"), col("cache", "ms"), artifact.Column{Name: "cache speedup"})
 	var pts []engine.Point
 	for _, name := range o.names() {
 		for _, th := range sweepThreads {
@@ -526,19 +533,20 @@ func Fig15(ctx context.Context, o Options) (*Table, error) {
 		spad, cached := results[i], results[i+1]
 		sSec := pts[i].Config.CyclesToSeconds(spad.Stats.Cycles)
 		cSec := pts[i+1].Config.CyclesToSeconds(cached.Stats.Cycles)
-		t.Rows = append(t.Rows, []string{
-			spad.Benchmark, fmt.Sprint(spad.Tasklets), Cell(sSec * 1e3), Cell(cSec * 1e3), Cell(sSec / cSec),
-		})
+		t.AddRow(
+			artifact.Str(spad.Benchmark), artifact.Int(spad.Tasklets),
+			artifact.Num(sSec*1e3), artifact.Num(cSec*1e3), artifact.Num(sSec/cSec),
+		)
 	}
 	return t, nil
 }
 
 // Fig16 compares DRAM bytes read and runtime for BS and UNI.
 func Fig16(ctx context.Context, o Options) (*Table, error) {
-	t := &Table{
-		ID: "Figure 16", Title: "DRAM bytes read and runtime vs threads: scratchpad vs cache",
-		Header: []string{"benchmark", "threads", "bytes (spad)", "bytes (cache)", "byte ratio", "time ratio (spad/cache)"},
-	}
+	t := newTable("fig16", "Figure 16", "DRAM bytes read and runtime vs threads: scratchpad vs cache", o,
+		artifact.Column{Name: "benchmark"}, artifact.Column{Name: "threads"},
+		col("bytes (spad)", "B"), col("bytes (cache)", "B"),
+		artifact.Column{Name: "byte ratio"}, artifact.Column{Name: "time ratio (spad/cache)"})
 	names := []string{"BS", "UNI"}
 	if len(o.Benchmarks) > 0 {
 		names = o.Benchmarks
@@ -560,26 +568,28 @@ func Fig16(ctx context.Context, o Options) (*Table, error) {
 		spad, cached := results[i], results[i+1]
 		sb := float64(spad.Stats.DRAM.BytesRead)
 		cb := float64(cached.Stats.DRAM.BytesRead)
-		t.Rows = append(t.Rows, []string{
-			spad.Benchmark, fmt.Sprint(spad.Tasklets),
-			fmt.Sprintf("%.0fK", sb/1024), fmt.Sprintf("%.0fK", cb/1024),
-			Cell(sb / max(cb, 1)),
-			Cell(float64(spad.Stats.Cycles) / float64(max(cached.Stats.Cycles, 1))),
-		})
+		t.AddRow(
+			artifact.Str(spad.Benchmark), artifact.Int(spad.Tasklets),
+			artifact.Raw(fmt.Sprintf("%.0fK", sb/1024), sb),
+			artifact.Raw(fmt.Sprintf("%.0fK", cb/1024), cb),
+			artifact.Num(sb/max(cb, 1)),
+			artifact.Num(float64(spad.Stats.Cycles)/float64(max(cached.Stats.Cycles, 1))),
+		)
 	}
 	return t, nil
 }
 
 // ---- tables and validation ----------------------------------------------
 
-// Table1 prints the default configuration (paper Table I).
+// Table1 prints the default configuration (paper Table I). It is
+// scale-independent, so its table carries no Scale stamp.
 func Table1(_ context.Context, _ Options) (*Table, error) {
 	cfg := config.Default()
 	t := &Table{
-		ID: "Table I", Title: "uPIMulator default configuration",
-		Header: []string{"parameter", "value"},
+		Key: "table1", ID: "Table I", Title: "uPIMulator default configuration",
+		Columns: cols("parameter", "value"),
 	}
-	add := func(k, v string) { t.Rows = append(t.Rows, []string{k, v}) }
+	add := func(k, v string) { t.AddStrings(k, v) }
 	add("Operating frequency", fmt.Sprintf("%d MHz", cfg.FreqMHz))
 	add("Number of pipeline stages", fmt.Sprint(cfg.PipelineStages))
 	add("Revolver scheduling cycles", fmt.Sprint(cfg.RevolverCycles))
@@ -605,13 +615,11 @@ func Table1(_ context.Context, _ Options) (*Table, error) {
 
 // Table2 prints the benchmark datasets for a scale.
 func Table2(_ context.Context, o Options) (*Table, error) {
-	t := &Table{
-		ID: "Table II", Title: fmt.Sprintf("PrIM datasets at scale %q", o.Scale),
-		Header: []string{"benchmark", "description", "parameters"},
-	}
+	t := newTable("table2", "Table II", fmt.Sprintf("PrIM datasets at scale %q", o.Scale), o,
+		cols("benchmark", "description", "parameters")...)
 	for _, b := range prim.Benchmarks() {
 		p := b.Params(o.Scale)
-		t.Rows = append(t.Rows, []string{b.Name, b.About, fmt.Sprintf("%+v", p)})
+		t.AddStrings(b.Name, b.About, fmt.Sprintf("%+v", p))
 	}
 	return t, nil
 }
@@ -621,10 +629,8 @@ func Table2(_ context.Context, o Options) (*Table, error) {
 // validation against real UPMEM hardware. Unlike the other experiments it
 // reports per-point failures in the table rather than failing fast.
 func Validation(ctx context.Context, o Options) (*Table, error) {
-	t := &Table{
-		ID: "Validation", Title: "functional cross-validation vs host golden models",
-		Header: []string{"benchmark", "mode", "threads", "DPUs", "result", "instructions"},
-	}
+	t := newTable("validation", "Validation", "functional cross-validation vs host golden models", o,
+		cols("benchmark", "mode", "threads", "DPUs", "result", "instructions")...)
 	var pts []engine.Point
 	for _, name := range o.names() {
 		for _, mode := range []config.Mode{config.ModeScratchpad, config.ModeCache} {
@@ -642,27 +648,27 @@ func Validation(ctx context.Context, o Options) (*Table, error) {
 		} else {
 			instr = out.Result.Stats.Instructions
 		}
-		t.Rows = append(t.Rows, []string{
-			pts[i].Benchmark, pts[i].Config.Mode.String(), "16", "4", status, fmt.Sprint(instr),
-		})
+		t.AddRow(
+			artifact.Str(pts[i].Benchmark), artifact.Str(pts[i].Config.Mode.String()),
+			artifact.Int(16), artifact.Int(4), artifact.Str(status), artifact.Int(instr),
+		)
 	}
 	return t, firstErr
 }
 
-// Table3 reproduces the simulator-comparison table with this repo's row.
+// Table3 reproduces the simulator-comparison table with this repo's row. It
+// is scale-independent, so its table carries no Scale stamp.
 func Table3(_ context.Context, _ Options) (*Table, error) {
 	t := &Table{
-		ID: "Table III", Title: "PIM simulator comparison (paper's survey + this reproduction)",
-		Header: []string{"simulator", "ISA", "frontend", "linker customization", "validated vs", "multithreaded"},
+		Key: "table3", ID: "Table III", Title: "PIM simulator comparison (paper's survey + this reproduction)",
+		Columns: cols("simulator", "ISA", "frontend", "linker customization", "validated vs", "multithreaded"),
 	}
-	t.Rows = [][]string{
-		{"PIMSim", "x86/ARM/SPARC", "trace", "no", "-", "no"},
-		{"Ramulator-PIM", "x86", "trace+execution", "no", "-", "yes"},
-		{"MultiPIM", "x86", "trace+execution", "no", "-", "yes"},
-		{"MPU-Sim", "PTX", "execution", "no", "-", "no"},
-		{"uPIMulator (paper)", "UPMEM", "execution", "yes", "real UPMEM-PIM", "no"},
-		{"uPIMulator-Go (this repo)", "UPMEM-style", "execution", "yes", "host golden models", "yes (per-DPU goroutines)"},
-	}
+	t.AddStrings("PIMSim", "x86/ARM/SPARC", "trace", "no", "-", "no")
+	t.AddStrings("Ramulator-PIM", "x86", "trace+execution", "no", "-", "yes")
+	t.AddStrings("MultiPIM", "x86", "trace+execution", "no", "-", "yes")
+	t.AddStrings("MPU-Sim", "PTX", "execution", "no", "-", "no")
+	t.AddStrings("uPIMulator (paper)", "UPMEM", "execution", "yes", "real UPMEM-PIM", "no")
+	t.AddStrings("uPIMulator-Go (this repo)", "UPMEM-style", "execution", "yes", "host golden models", "yes (per-DPU goroutines)")
 	return t, nil
 }
 

@@ -2,8 +2,6 @@ package figures
 
 import (
 	"context"
-	"strconv"
-	"strings"
 	"testing"
 
 	"upim/internal/prim"
@@ -27,11 +25,14 @@ func TestEveryExperimentRuns(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if tab == nil || len(tab.Header) == 0 || len(tab.Rows) == 0 {
+			if tab == nil || len(tab.Columns) == 0 || len(tab.Rows) == 0 {
 				t.Fatalf("%s produced an empty table", e.ID)
 			}
+			if tab.Key != e.ID {
+				t.Fatalf("%s: table key %q must match the experiment id", e.ID, tab.Key)
+			}
 			for _, row := range tab.Rows {
-				if len(row) > len(tab.Header) {
+				if len(row) > len(tab.Columns) {
 					t.Fatalf("%s: row wider than header: %v", e.ID, row)
 				}
 			}
@@ -42,41 +43,6 @@ func TestEveryExperimentRuns(t *testing.T) {
 func TestByIDUnknown(t *testing.T) {
 	if _, err := ByID("nope"); err == nil {
 		t.Fatal("unknown id must error")
-	}
-}
-
-func TestTableFprintAligns(t *testing.T) {
-	tab := &Table{
-		ID: "X", Title: "demo",
-		Header: []string{"a", "long-column"},
-		Rows:   [][]string{{"wide-cell", "1"}, {"x", "2"}},
-	}
-	var sb strings.Builder
-	tab.Fprint(&sb)
-	out := sb.String()
-	if !strings.Contains(out, "== X: demo ==") {
-		t.Fatal("missing banner")
-	}
-	lines := strings.Split(strings.TrimSpace(out), "\n")
-	// Columns align: "long-column" starts at the same offset in all lines.
-	idx := strings.Index(lines[1], "long-column")
-	if idx < 0 {
-		t.Fatal("header missing")
-	}
-	if !strings.HasPrefix(lines[2][idx:], "1") || !strings.HasPrefix(lines[3][idx:], "2") {
-		t.Fatalf("columns misaligned:\n%s", out)
-	}
-}
-
-func TestCellFormatting(t *testing.T) {
-	cases := map[float64]string{0: "0", 3.14159: "3.14", 42.5: "42.5", 1234: "1234"}
-	for in, want := range cases {
-		if got := Cell(in); got != want {
-			t.Errorf("Cell(%v) = %q, want %q", in, got, want)
-		}
-	}
-	if Pct(0.123) != "12.3%" {
-		t.Fatal("Pct")
 	}
 }
 
@@ -92,17 +58,17 @@ func TestShapeInvariants(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		vals := map[string][2]string{}
+		vals := map[string][2]float64{}
 		for _, row := range tab.Rows {
-			if row[1] == "16" {
-				vals[row[0]] = [2]string{row[2], row[3]}
+			if row[1].Text == "16" {
+				vals[row[0].Text] = [2]float64{row[2].Num, row[3].Num}
 			}
 		}
-		if pct(vals["BS"][0]) >= pct(vals["BS"][1]) {
-			t.Errorf("BS should be memory-bound: compute %s vs memory %s", vals["BS"][0], vals["BS"][1])
+		if vals["BS"][0] >= vals["BS"][1] {
+			t.Errorf("BS should be memory-bound: compute %.3f vs memory %.3f", vals["BS"][0], vals["BS"][1])
 		}
-		if pct(vals["TS"][0]) <= pct(vals["TS"][1]) {
-			t.Errorf("TS should be compute-bound: compute %s vs memory %s", vals["TS"][0], vals["TS"][1])
+		if vals["TS"][0] <= vals["TS"][1] {
+			t.Errorf("TS should be compute-bound: compute %.3f vs memory %.3f", vals["TS"][0], vals["TS"][1])
 		}
 	})
 	t.Run("fig9-hstl-sync", func(t *testing.T) {
@@ -113,18 +79,18 @@ func TestShapeInvariants(t *testing.T) {
 		}
 		var l, s float64
 		for _, row := range tab.Rows {
-			if row[0] == "HST-L" {
-				l = pct(row[6])
+			if row[0].Text == "HST-L" {
+				l = row[6].Num
 			}
-			if row[0] == "HST-S" {
-				s = pct(row[6])
+			if row[0].Text == "HST-S" {
+				s = row[6].Num
 			}
 		}
-		if l < 30 {
-			t.Errorf("HST-L sync fraction = %.1f%%, want contention-dominated", l)
+		if l < 0.30 {
+			t.Errorf("HST-L sync fraction = %.1f%%, want contention-dominated", l*100)
 		}
 		if s >= l {
-			t.Errorf("HST-S sync (%.1f%%) should be far below HST-L (%.1f%%)", s, l)
+			t.Errorf("HST-S sync (%.1f%%) should be far below HST-L (%.1f%%)", s*100, l*100)
 		}
 	})
 	t.Run("fig11-ladder", func(t *testing.T) {
@@ -135,7 +101,7 @@ func TestShapeInvariants(t *testing.T) {
 		}
 		speedup := map[string]float64{}
 		for _, row := range tab.Rows {
-			speedup[row[0]] = pct(row[5]) // plain float, no % sign
+			speedup[row[0].Text] = row[5].Num
 		}
 		if !(speedup["SIMT"] > 1 && speedup["SIMT+AC"] > speedup["SIMT"] &&
 			speedup["SIMT+AC+4x"] >= speedup["SIMT+AC"]) {
@@ -150,9 +116,9 @@ func TestShapeInvariants(t *testing.T) {
 		}
 		prev := 0.0
 		for _, row := range tab.Rows {
-			s := pct(row[6])
+			s := row[6].Num
 			if s < prev*0.98 { // allow tiny noise
-				t.Errorf("ILP ladder regressed at %s: %.2f after %.2f", row[1], s, prev)
+				t.Errorf("ILP ladder regressed at %s: %.2f after %.2f", row[1].Text, s, prev)
 			}
 			prev = s
 		}
@@ -160,10 +126,4 @@ func TestShapeInvariants(t *testing.T) {
 			t.Errorf("TS with D+R+S+F = %.2fx, want >= 2x (paper: avg 2.7x)", prev)
 		}
 	})
-}
-
-func pct(cell string) float64 {
-	cell = strings.TrimSuffix(cell, "%")
-	v, _ := strconv.ParseFloat(cell, 64)
-	return v
 }

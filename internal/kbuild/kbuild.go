@@ -1,22 +1,3 @@
-// Package kbuild is a typed macro-assembler for authoring DPU kernels in Go.
-// It plays the role of the compiler front-end in the paper's toolchain: the
-// PrIM workloads are written against this builder and lowered to the UPMEM-
-// style ISA, then linked by internal/linker.
-//
-// Conventions (the kernel ABI):
-//
-//   - The host writes up to 16 32-bit argument words at WRAM offset 0
-//     (LoadArg reads them). MRAM buffer locations are passed as absolute
-//     addresses in args.
-//   - r22 is initialized to a per-tasklet stack top, r23 is the link
-//     register (CALL target).
-//   - Mutexes come from AllocLock; barriers from NewBarrier (a generation
-//     barrier built from acquire/release spin loops and WRAM counters,
-//     mirroring how the UPMEM SDK builds them in software).
-//
-// Misuse (bad registers, immediate overflow, unknown labels) panics: kernels
-// are compiled at process start and exercised by tests, so failing fast beats
-// threading errors through every call site.
 package kbuild
 
 import (

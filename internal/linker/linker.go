@@ -1,15 +1,3 @@
-// Package linker assembles final program images for the DPU: the IRAM
-// instruction stream, statically allocated data with its WRAM (or, in the
-// cache-centric design, DRAM-backed) addresses, and the symbol fixups that
-// patch address constants into instructions.
-//
-// It mirrors the paper's custom linker in two load-bearing ways:
-//
-//  1. In scratchpad mode it enforces the physical IRAM/WRAM capacities,
-//     exactly like UPMEM's linker (exceeding them is a link error).
-//  2. In cache mode it *relaxes* those limits by remapping the static data
-//     space into the DRAM-backed flat address space — the relocation trick
-//     Section V-D uses to emulate a cache-centric UPMEM-PIM.
 package linker
 
 import (

@@ -1,0 +1,11 @@
+// Package mem implements the UPMEM-PIM physical memories and address map
+// (paper Fig 3(c)): WRAM scratchpad, IRAM instruction memory, the per-bank
+// 64MB MRAM (sparse-backed so simulating thousands of DPUs stays cheap),
+// and the 256-bit atomic lock region.
+//
+// The DPU is MMU-less: all addresses here are physical, and the fixed
+// windows (IRAM at 0x00800000, MRAM at 0x08000000) are part of the kernel
+// ABI — MRAMBase in the public upim package converts bank offsets into
+// these absolute addresses. Address translation, when the case-study 3 MMU
+// is enabled, happens in front of this package (internal/mmu).
+package mem

@@ -1,8 +1,3 @@
-// Package mem implements the UPMEM-PIM physical memories and address map
-// (paper Fig 3(c)): WRAM scratchpad, IRAM instruction memory, the per-bank
-// 64MB MRAM (sparse-backed so simulating thousands of DPUs stays cheap), and
-// the 256-bit atomic lock region. The DPU is MMU-less: all addresses here are
-// physical.
 package mem
 
 import (

@@ -261,6 +261,59 @@ func addCache(dst, src *Cache) {
 	dst.Writebacks += src.Writebacks
 }
 
+// Counter is one named metric of a statistics record.
+type Counter struct {
+	Name  string
+	Value float64
+}
+
+// Counters flattens the record into a stable, named metric list — the
+// serialization contract the artifact exporters build on. The order and
+// names are fixed: appending new counters at the end is safe, renaming or
+// reordering breaks committed reference artifacts and downstream CSV/JSON
+// consumers.
+func (s *DPU) Counters() []Counter {
+	return []Counter{
+		{"cycles", float64(s.Cycles)},
+		{"instructions", float64(s.Instructions)},
+		{"vector_issues", float64(s.VectorIssues)},
+		{"ipc", s.IPC()},
+		{"issue_slots", s.IssueSlots},
+		{"issued", s.Issued},
+		{"idle_memory", s.Idle[IdleMemory]},
+		{"idle_revolver", s.Idle[IdleRevolver]},
+		{"idle_rf", s.Idle[IdleRF]},
+		{"avg_issuable", s.AvgIssuable()},
+		{"dram_bytes_read", float64(s.DRAM.BytesRead)},
+		{"dram_bytes_written", float64(s.DRAM.BytesWritten)},
+		{"dram_read_bursts", float64(s.DRAM.ReadBursts)},
+		{"dram_write_bursts", float64(s.DRAM.WriteBursts)},
+		{"dram_row_hits", float64(s.DRAM.RowHits)},
+		{"dram_row_misses", float64(s.DRAM.RowMisses)},
+		{"dram_row_empty", float64(s.DRAM.RowEmpty)},
+		{"dram_refreshes", float64(s.DRAM.Refreshes)},
+		{"icache_hits", float64(s.ICache.Hits)},
+		{"icache_misses", float64(s.ICache.Misses)},
+		{"dcache_hits", float64(s.DCache.Hits)},
+		{"dcache_misses", float64(s.DCache.Misses)},
+		{"dcache_mshr_merges", float64(s.DCache.MSHRMerges)},
+		{"dcache_evictions", float64(s.DCache.Evictions)},
+		{"dcache_writebacks", float64(s.DCache.Writebacks)},
+		{"tlb_hits", float64(s.MMU.TLBHits)},
+		{"tlb_misses", float64(s.MMU.TLBMisses)},
+		{"table_walks", float64(s.MMU.TableWalks)},
+		{"page_faults", float64(s.MMU.PageFaults)},
+		{"wram_reads", float64(s.WRAMReads)},
+		{"wram_writes", float64(s.WRAMWrites)},
+		{"dmas", float64(s.DMAs)},
+		{"dma_bytes", float64(s.DMABytes)},
+		{"acquire_ok", float64(s.AcquireOK)},
+		{"acquire_fail", float64(s.AcquireFail)},
+		{"coalesced_requests", float64(s.CoalescedRequests)},
+		{"uncoalesced_requests", float64(s.UncoalescedRequests)},
+	}
+}
+
 // Summary renders a human-readable report (used by cmd/upimulator).
 func (s *DPU) Summary() string {
 	var b strings.Builder

@@ -146,6 +146,46 @@ func TestSummaryMentionsKeyFields(t *testing.T) {
 	}
 }
 
+// TestCountersStable pins the serialization contract: unique names, stable
+// order, values matching the record. Renaming or reordering counters breaks
+// committed reference artifacts, so this test is deliberately strict.
+func TestCountersStable(t *testing.T) {
+	var s DPU
+	s.Cycles = 100
+	s.Instructions = 80
+	s.DRAM.BytesRead = 4096
+	s.MMU.PageFaults = 3
+	cs := s.Counters()
+	if len(cs) < 30 {
+		t.Fatalf("counters = %d, expected the full record", len(cs))
+	}
+	seen := map[string]float64{}
+	for _, c := range cs {
+		if _, dup := seen[c.Name]; dup {
+			t.Errorf("duplicate counter %q", c.Name)
+		}
+		seen[c.Name] = c.Value
+	}
+	if seen["cycles"] != 100 || seen["instructions"] != 80 {
+		t.Errorf("identity counters wrong: %v", seen)
+	}
+	if seen["ipc"] != 0.8 {
+		t.Errorf("ipc = %v", seen["ipc"])
+	}
+	if seen["dram_bytes_read"] != 4096 || seen["page_faults"] != 3 {
+		t.Errorf("nested counters wrong: %v", seen)
+	}
+	if cs[0].Name != "cycles" {
+		t.Errorf("order changed: first counter %q", cs[0].Name)
+	}
+	// A second call must produce the identical sequence.
+	for i, c := range s.Counters() {
+		if cs[i] != c {
+			t.Fatalf("unstable counter %d: %v vs %v", i, cs[i], c)
+		}
+	}
+}
+
 func TestIdleReasonStrings(t *testing.T) {
 	if IdleMemory.String() != "Idle(Memory)" ||
 		IdleRevolver.String() != "Idle(Revolver)" ||

@@ -44,9 +44,11 @@ package upim
 import (
 	"context"
 
+	"upim/internal/artifact"
 	"upim/internal/asm"
 	"upim/internal/config"
 	"upim/internal/core"
+	"upim/internal/engine"
 	"upim/internal/figures"
 	"upim/internal/host"
 	"upim/internal/kbuild"
@@ -173,13 +175,62 @@ func RunBenchmark(name string, cfg Config, nDPUs int, scale Scale) (*BenchmarkRe
 	})
 }
 
+// ArtifactColumn is a unit-annotated column of a result table.
+type ArtifactColumn = artifact.Column
+
+// ArtifactValue is one typed table cell: a number that keeps both its exact
+// value and display formatting, or a plain string.
+type ArtifactValue = artifact.Value
+
+// Series is a named (x, y) sequence with axis metadata, extracted from a
+// result table via ResultTable.Series.
+type Series = artifact.Series
+
+// Axis is one Series plot axis.
+type Axis = artifact.Axis
+
+// SuiteTable assembles RunSuite/Sweep results into an exportable artifact
+// table — identity columns, phase timings in ms, and every stats counter —
+// ready for WriteCSV/WriteJSON/WriteMarkdown/Fprint. Nil results (cancelled
+// or failed points) are skipped.
+func SuiteTable(title string, results []*Result) *ResultTable {
+	return engine.ResultsTable(title, results)
+}
+
+// WriteReport writes per-table CSV, JSON and Markdown files plus a linking
+// index.md into dir — the same browsable report `cmd/figures -out` emits.
+func WriteReport(dir string, tables []*ResultTable) error {
+	return artifact.WriteReport(dir, tables)
+}
+
+// CompareTables checks got against a reference table cell-by-cell: string
+// cells must match exactly, numeric cells within the relative epsilon. It
+// backs `cmd/figures -check` and is exported so library users can build the
+// same tolerance-based regression oracles over their own sweeps.
+func CompareTables(got, want *ResultTable, eps float64) error {
+	return artifact.Compare(got, want, eps)
+}
+
+// CheckArtifact validates a regenerated experiment table against the
+// embedded reference results for its key and dataset scale (committed at
+// tiny scale), failing when any figure shifted beyond the relative eps
+// (<= 0 selects the default 1%). This is the regression oracle behind
+// `cmd/figures -check`.
+func CheckArtifact(tab *ResultTable, eps float64) error {
+	return figures.Check(tab, eps)
+}
+
 // Experiment regenerates one of the paper's tables or figures.
 type Experiment = figures.Experiment
 
 // ExperimentOptions parameterize RunExperiment.
 type ExperimentOptions = figures.Options
 
-// ResultTable is a printable experiment result.
+// ResultTable is a typed experiment result grid: unit-annotated columns over
+// cells that keep exact numeric values alongside display formatting. It
+// renders to aligned console text (Fprint), CSV (WriteCSV), JSON
+// (WriteJSON/DecodeTable round-trip) and Markdown (WriteMarkdown), and
+// extracts line-chart series with axis metadata (Series).
 type ResultTable = figures.Table
 
 // Experiments lists every reproducible table/figure.
