@@ -8,8 +8,11 @@ build:
 test: fmt vet
 	$(GO) test ./...
 
+# bench runs the figure benchmark suite and writes BENCH_3.json (ns/op plus
+# the headline figure metrics, machine-readable). Tune with BENCHTIME=1x for
+# a smoke run or BENCH=Fig12 for a subset.
 bench:
-	$(GO) test -bench=. -benchmem -run=^$$ .
+	BENCHTIME=$(BENCHTIME) BENCH=$(BENCH) OUT=$(OUT) ./scripts/bench.sh
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi

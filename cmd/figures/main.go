@@ -29,9 +29,14 @@ import (
 
 	"upim"
 	"upim/internal/figures/refdata"
+	"upim/internal/prof"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
 		exp      = flag.String("exp", "all", "experiment id (see -list) or 'all'")
 		scale    = flag.String("scale", "tiny", "dataset scale: tiny, small or paper")
@@ -42,22 +47,33 @@ func main() {
 		check    = flag.Bool("check", false, "validate results against the committed reference artifacts")
 		eps      = flag.Float64("eps", 0, "relative tolerance for -check (0 = the 1% default)")
 		writeref = flag.String("writeref", "", "write reference JSON artifacts into this directory (maintainers only)")
+		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprof  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuprof != "" || *memprof != "" {
+		stop, err := prof.Start(*cpuprof, *memprof)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			return 1
+		}
+		defer stop()
+	}
 
 	if *list {
 		for _, e := range upim.Experiments() {
 			fmt.Printf("%-12s %s\n", e.ID, e.About)
 		}
-		return
+		return 0
 	}
 	if (*check || *writeref != "") && *bench != "" {
 		fmt.Fprintln(os.Stderr, "figures: -check/-writeref compare full-suite tables; drop -bench")
-		os.Exit(2)
+		return 2
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
-	defer stop()
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer cancel()
 
 	opts := upim.ExperimentOptions{
 		Scale:       map[string]upim.Scale{"tiny": upim.ScaleTiny, "small": upim.ScaleSmall, "paper": upim.ScalePaper}[*scale],
@@ -68,34 +84,37 @@ func main() {
 	}
 
 	var tables []*upim.ResultTable
-	run := func(id string) {
+	runExp := func(id string) bool {
 		tab, err := upim.RunExperimentContext(ctx, id, opts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "figures: %s: %v\n", id, err)
-			os.Exit(1)
+			return false
 		}
 		tab.Fprint(os.Stdout)
 		tables = append(tables, tab)
+		return true
 	}
 	if *exp == "all" {
 		for _, e := range upim.Experiments() {
-			run(e.ID)
+			if !runExp(e.ID) {
+				return 1
+			}
 		}
-	} else {
-		run(*exp)
+	} else if !runExp(*exp) {
+		return 1
 	}
 
 	if *out != "" {
 		if err := upim.WriteReport(*out, tables); err != nil {
 			fmt.Fprintln(os.Stderr, "figures:", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Fprintf(os.Stderr, "figures: wrote %d artifacts + index.md to %s\n", len(tables), *out)
 	}
 	if *writeref != "" {
 		if err := os.MkdirAll(*writeref, 0o755); err != nil {
 			fmt.Fprintln(os.Stderr, "figures:", err)
-			os.Exit(1)
+			return 1
 		}
 		for _, tab := range tables {
 			path := filepath.Join(*writeref, refdata.FileName(tab.Key, tab.Scale))
@@ -108,7 +127,7 @@ func main() {
 			}
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "figures:", err)
-				os.Exit(1)
+				return 1
 			}
 		}
 		fmt.Fprintf(os.Stderr, "figures: wrote %d reference artifacts to %s\n", len(tables), *writeref)
@@ -123,8 +142,9 @@ func main() {
 		}
 		if failed > 0 {
 			fmt.Fprintf(os.Stderr, "figures: %d/%d artifacts deviate from the reference\n", failed, len(tables))
-			os.Exit(1)
+			return 1
 		}
 		fmt.Fprintf(os.Stderr, "figures: all %d artifacts match the reference\n", len(tables))
 	}
+	return 0
 }

@@ -16,9 +16,14 @@ import (
 	"os/signal"
 
 	"upim"
+	"upim/internal/prof"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
 		threads = flag.Int("threads", 16, "tasklets per DPU")
 		dpus    = flag.Int("dpus", 1, "number of DPUs")
@@ -26,16 +31,27 @@ func main() {
 		scale   = flag.String("scale", "tiny", "dataset scale: tiny, small or paper")
 		jobs    = flag.Int("jobs", 0, "concurrent simulation points (0 = GOMAXPROCS)")
 		out     = flag.String("out", "", "export the suite results as an artifact report into this directory")
+		cpuprof = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprof = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
-	defer stop()
+	if *cpuprof != "" || *memprof != "" {
+		stop, err := prof.Start(*cpuprof, *memprof)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "prim:", err)
+			return 1
+		}
+		defer stop()
+	}
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer cancel()
 
 	sc, ok := map[string]upim.Scale{"tiny": upim.ScaleTiny, "small": upim.ScaleSmall, "paper": upim.ScalePaper}[*scale]
 	if !ok {
 		fmt.Fprintf(os.Stderr, "prim: unknown scale %q\n", *scale)
-		os.Exit(1)
+		return 1
 	}
 	opts := []upim.RunnerOption{
 		upim.WithTasklets(*threads),
@@ -51,7 +67,7 @@ func main() {
 	r, err := upim.NewRunner(opts...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "prim:", err)
-		os.Exit(1)
+		return 1
 	}
 
 	names := upim.Benchmarks()
@@ -96,11 +112,12 @@ func main() {
 		tab.Scale = *scale
 		if err := upim.WriteReport(*out, []*upim.ResultTable{tab}); err != nil {
 			fmt.Fprintln(os.Stderr, "prim:", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Fprintf(os.Stderr, "prim: wrote suite artifacts to %s\n", *out)
 	}
 	if failed > 0 {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

@@ -151,6 +151,11 @@ type Config struct {
 	// threads over each window of this many cycles (Fig 8).
 	TimelineWindow int
 	// TraceIssues records per-issue events for invariant checking in tests.
+	// Memory cost: one ~24-byte IssueEvent per issued instruction, bounded
+	// by the Run watchdog times IssueWidth. The DPU presizes the trace from
+	// that bound at Run time (capped at 1M events up front) so steady-state
+	// tracing does not churn the allocator; budget roughly 24 MB per million
+	// issued instructions before enabling it on long kernels.
 	TraceIssues bool
 }
 

@@ -17,6 +17,26 @@
 //
 // Functional execution happens at issue: the architectural state is updated
 // immediately and timing is modeled by blocking the issuing tasklet.
+//
+// Two implementation decisions make the model fast enough for sweep-style
+// characterization without moving a single simulated cycle:
+//
+//   - Decode-once µop tables (uop.go): at program load every instruction's
+//     static metadata — dispatch kind, mix class, source/dest registers,
+//     RF-conflict parity, memory access shape — is precomputed into a flat
+//     µop slice shared by all DPUs running the program, so the issue path
+//     never re-derives it through switch chains.
+//   - Event-driven scheduling: thread states are tracked by incrementally
+//     maintained counters (alive/blocked/issuable) plus a (cycle, id)-ordered
+//     timer queue, so a simulated cycle costs O(state transitions) instead of
+//     O(threads), and idle stretches jump straight to the unified next-event
+//     clock (min of thread timers, the DRAM bank's next decision, and the
+//     watchdog deadline).
+//
+// The committed tiny-scale reference artifacts (internal/figures/refdata)
+// are the equivalence oracle for any change here: the scheduler is required
+// to reproduce the per-cycle census semantics exactly, including the
+// fractional idle attribution and TLP sampling.
 package core
 
 import (
@@ -24,6 +44,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"math/bits"
 
 	"upim/internal/cache"
 	"upim/internal/config"
@@ -96,11 +117,120 @@ type IssueEvent struct {
 	RFConflict bool
 }
 
+// traceMaxPrealloc caps the up-front issue-trace allocation: the trace is
+// sized from the watchdog bound at Run time (see Config.TraceIssues for the
+// memory cost), but never more than this many events ahead of need.
+const traceMaxPrealloc = 1 << 20
+
+// schedEvent is one entry of the scheduler's timer queue: at cycle `at`,
+// reconsider thread (or warp, in SIMT mode) `id`.
+type schedEvent struct {
+	at uint64
+	id int32
+}
+
+func (e schedEvent) before(o schedEvent) bool {
+	return e.at < o.at || (e.at == o.at && e.id < o.id)
+}
+
+// eventQueue is a binary min-heap ordered by (at, id). The id tiebreak makes
+// same-cycle processing follow thread-index order — exactly the order the
+// per-cycle census used to touch shared state (I-cache fetches) in, which
+// the refdata oracle holds us to.
+type eventQueue []schedEvent
+
+func (q *eventQueue) push(at uint64, id int32) {
+	s := append(*q, schedEvent{at, id})
+	i := len(s) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !s[i].before(s[p]) {
+			break
+		}
+		s[i], s[p] = s[p], s[i]
+		i = p
+	}
+	*q = s
+}
+
+func (q *eventQueue) pop() schedEvent {
+	s := *q
+	top := s[0]
+	last := len(s) - 1
+	s[0] = s[last]
+	s = s[:last]
+	*q = s
+	i := 0
+	for {
+		l, r, m := 2*i+1, 2*i+2, i
+		if l < len(s) && s[l].before(s[m]) {
+			m = l
+		}
+		if r < len(s) && s[r].before(s[m]) {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		s[i], s[m] = s[m], s[i]
+		i = m
+	}
+	return top
+}
+
+// bitset tracks the issuable thread (or warp) set; nextFrom implements the
+// round-robin pick in O(words) instead of a per-thread scan.
+type bitset struct {
+	words []uint64
+	n     int
+}
+
+func (b *bitset) reset(n int) {
+	w := (n + 63) / 64
+	if cap(b.words) < w {
+		b.words = make([]uint64, w)
+	} else {
+		b.words = b.words[:w]
+		clear(b.words)
+	}
+	b.n = n
+}
+
+func (b *bitset) set(i int)   { b.words[i>>6] |= 1 << (i & 63) }
+func (b *bitset) clear(i int) { b.words[i>>6] &^= 1 << (i & 63) }
+
+// nextFrom returns the first set index >= start, wrapping past the end, or
+// -1 when the set is empty.
+func (b *bitset) nextFrom(start int) int {
+	nw := len(b.words)
+	if nw == 0 {
+		return -1
+	}
+	w0 := start >> 6
+	if m := b.words[w0] &^ (1<<(start&63) - 1); m != 0 {
+		return w0<<6 + bits.TrailingZeros64(m)
+	}
+	for k := 1; k < nw; k++ {
+		w := w0 + k
+		if w >= nw {
+			w -= nw
+		}
+		if m := b.words[w]; m != 0 {
+			return w<<6 + bits.TrailingZeros64(m)
+		}
+	}
+	if m := b.words[w0] & (1<<(start&63) - 1); m != 0 {
+		return w0<<6 + bits.TrailingZeros64(m)
+	}
+	return -1
+}
+
 // DPU is one simulated DRAM Processing Unit.
 type DPU struct {
 	cfg  config.Config
 	id   int
 	prog *linker.Program
+	uops []uop // decode-once static metadata, indexed by PC
 
 	wram   *mem.WRAM
 	mram   *mem.MRAM
@@ -115,23 +245,47 @@ type DPU struct {
 	cycle   uint64
 	tpc     Tick // ticks per DPU cycle
 
+	// fwdLat holds the forwarding latencies indexed by µop latency selector.
+	fwdLat [numLatSels]uint64
+
+	// Event-driven scheduler state. In scalar modes the counters and the
+	// issuable set are over threads; in SIMT mode, over warps.
+	evq       eventQueue
+	issuable  bitset
+	issuableN int // members of the issuable set
+	aliveN    int // non-stopped threads (warps with live lanes)
+	blockedN  int // blocked threads (warps)
+	// issuableLanesN sums the active-lane counts of issuable warps (SIMT
+	// TLP accounting).
+	issuableLanesN int
+
 	// rfDebt counts issue slots still owed to the odd/even RF hazard.
 	rfDebt int
 	rr     int // round-robin scan start
 
-	// DMA/fill completion routing.
-	nextTag uint64
-	sinks   map[uint64]func(Tick)
+	// DMA/fill completion routing: a slab of completion callbacks indexed by
+	// burst tag, with freed slots recycled through a free list — no hashing
+	// or per-burst map churn on the DMA hot path.
+	sinks     []func(Tick)
+	freeSinks []uint64
+	// onBurstFn is the bank completion callback, bound once (a method value
+	// allocates on every use).
+	onBurstFn dram.CompletionFunc
+	// eagerFn/eagerDone service enqueueEager's synchronous drains without a
+	// per-call closure.
+	eagerFn   func(Tick)
+	eagerDone Tick
+	// dmaBuf is the reusable staging buffer for DMA functional copies.
+	dmaBuf []byte
+	// vecBursts/vecSeen are executeVectorMem scratch (SIMT mode).
+	vecBursts []uint32
+	vecSeen   map[uint32]bool
 
 	// SIMT state (built lazily when Mode == ModeSIMT).
 	warps []*warp
 
 	st    stats.DPU
 	trace []IssueEvent
-
-	// timeline sampling
-	tlAcc   float64
-	tlCount int
 
 	faultErr error
 }
@@ -150,12 +304,19 @@ func New(id int, prog *linker.Program, cfg config.Config) (*DPU, error) {
 		cfg:    cfg,
 		id:     id,
 		prog:   prog,
+		uops:   uopsFor(prog),
 		wram:   mem.NewWRAM(cfg.WRAMBytes),
 		mram:   mem.NewMRAM(cfg.MRAMBytes),
 		atomic: mem.NewAtomic(cfg.AtomicLocks),
 		tpc:    cfg.DPUTicksPerCycle(),
-		sinks:  map[uint64]func(Tick){},
+		fwdLat: [numLatSels]uint64{
+			latALU:    uint64(cfg.FwdLatALU),
+			latMulDiv: uint64(cfg.FwdLatMulDiv),
+			latLoad:   uint64(cfg.FwdLatLoad),
+		},
 	}
+	d.onBurstFn = d.onBurst
+	d.eagerFn = func(at Tick) { d.eagerDone = at }
 	d.bank = dram.NewBank(cfg, &d.st.DRAM)
 	d.link = dram.NewLink(cfg)
 	if cfg.MMU.Enable {
@@ -200,6 +361,10 @@ func (d *DPU) load() error {
 	return nil
 }
 
+// resetThreads rebuilds the architectural thread state and re-seeds the
+// scheduler: every thread (or warp) gets a timer at the current cycle, so
+// the first loop iteration classifies them exactly like the old per-cycle
+// census did — including cache-mode initial I-fetches in thread order.
 func (d *DPU) resetThreads() {
 	n := d.cfg.NumTasklets
 	d.threads = make([]*thread, n)
@@ -212,6 +377,13 @@ func (d *DPU) resetThreads() {
 	}
 	if d.cfg.Mode == config.ModeSIMT {
 		d.buildWarps()
+		return
+	}
+	d.evq = d.evq[:0]
+	d.issuable.reset(n)
+	d.aliveN, d.blockedN, d.issuableN = n, 0, 0
+	for i := 0; i < n; i++ {
+		d.evq.push(d.cycle, int32(i))
 	}
 }
 
@@ -255,10 +427,6 @@ func (d *DPU) Relaunch() {
 	d.resetThreads()
 	d.rfDebt = 0
 	d.rr = 0
-	d.warps = d.warps[:0]
-	if d.cfg.Mode == config.ModeSIMT {
-		d.buildWarps()
-	}
 }
 
 // ErrWatchdogExpired reports a kernel that exceeded its cycle budget
@@ -278,6 +446,9 @@ func (d *DPU) Run(ctx context.Context, maxCycles uint64) error {
 		ctx = context.Background()
 	}
 	deadline := d.cycle + maxCycles
+	if d.cfg.TraceIssues && d.trace == nil {
+		d.trace = make([]IssueEvent, 0, min(maxCycles*uint64(d.cfg.IssueWidth), traceMaxPrealloc))
+	}
 	if d.cfg.Mode == config.ModeSIMT {
 		return d.runSIMT(ctx, deadline)
 	}
@@ -292,19 +463,22 @@ func (d *DPU) Run(ctx context.Context, maxCycles uint64) error {
 		}
 		now := d.nowTick()
 		if d.bank.Pending() > 0 {
-			d.bank.Advance(now, d.onBurst)
+			if at, ok := d.bank.NextDecisionAt(); ok && at <= now {
+				d.bank.Advance(now, d.onBurstFn)
+			}
 		}
-		d.wakeThreads()
+		d.processDue()
 		if d.faultErr != nil {
 			return d.faultErr
 		}
 
-		issuable, memN, revN, alive := d.census()
-		if alive == 0 {
+		if d.aliveN == 0 {
 			d.finish()
 			return d.faultErr
 		}
-		d.recordTLP(issuable, 1)
+		issuable, memN := d.issuableN, d.blockedN
+		revN := d.aliveN - memN - issuable
+		d.st.RecordTLP(issuable, 1, d.cfg.TimelineWindow)
 
 		slots := width
 		for slots > 0 && d.rfDebt > 0 {
@@ -323,7 +497,7 @@ func (d *DPU) Run(ctx context.Context, maxCycles uint64) error {
 			}
 		}
 		if slots > 0 {
-			d.attributeIdle(float64(slots), memN, revN)
+			d.st.AttributeIdle(float64(slots), memN, revN)
 		}
 		d.st.IssueSlots += float64(width)
 		d.cycle++
@@ -337,122 +511,123 @@ func (d *DPU) Run(ctx context.Context, maxCycles uint64) error {
 	return fmt.Errorf("core: dpu %d exceeded the %d-cycle watchdog (deadlock or runaway kernel?): %w", d.id, maxCycles, ErrWatchdogExpired)
 }
 
-// census wakes nothing; it classifies threads at the top of the cycle and
-// returns (issuable, blocked-on-memory, revolver/dependency-waiting, alive).
-func (d *DPU) census() (issuable, memN, revN, alive int) {
-	for _, t := range d.threads {
+// processDue drains the timer queue up to the current cycle, waking blocked
+// threads and admitting running ones into the issuable set. It replaces the
+// per-cycle wakeThreads/census scans: each thread is touched only when its
+// own state can change.
+func (d *DPU) processDue() {
+	for len(d.evq) > 0 && d.evq[0].at <= d.cycle {
+		id := d.evq.pop().id
+		t := d.threads[id]
 		switch t.state {
 		case threadStopped:
-			continue
+			// Stale timer of a stopped thread; drop it.
 		case threadBlocked:
-			memN++
-			alive++
-			continue
-		}
-		alive++
-		// Cache-mode instruction fetch.
-		if d.icache != nil && t.fetchPC != int(t.pc) {
-			ready := d.icache.Access(d.iramBacking(t.pc), false, d.nowTick())
-			t.fetchPC = int(t.pc)
-			t.fetchReady = d.cycleOf(ready)
-			if t.fetchReady > d.cycle {
-				t.state = threadBlocked
-				t.wakeAt = t.fetchReady
-				memN++
+			if t.wakeAt == neverWake {
+				continue // superseded; the completion sink re-arms the timer
+			}
+			if t.wakeAt > d.cycle {
+				d.evq.push(t.wakeAt, id) // stall was extended; re-arm
 				continue
 			}
-		}
-		if d.canIssue(t) {
-			issuable++
-		} else {
-			revN++
+			t.state = threadRunning
+			d.blockedN--
+			d.admit(t)
+		default:
+			d.admit(t)
 		}
 	}
-	return
 }
 
-// canIssue reports whether a running thread may issue this cycle.
-func (d *DPU) canIssue(t *thread) bool {
-	if t.nextIssueAt > d.cycle {
-		return false
+// admit classifies a running thread at the current cycle: it services a
+// pending I-fetch (cache mode) at exactly the cycle the per-cycle census
+// used to, then either marks the thread issuable or re-arms its timer for
+// the cycle its current instruction becomes ready.
+func (d *DPU) admit(t *thread) {
+	if d.icache != nil && t.fetchPC != int(t.pc) {
+		ready := d.icache.Access(d.iramBacking(t.pc), false, d.nowTick())
+		t.fetchPC = int(t.pc)
+		t.fetchReady = d.cycleOf(ready)
+		if t.fetchReady > d.cycle {
+			t.state = threadBlocked
+			t.wakeAt = t.fetchReady
+			d.blockedN++
+			d.evq.push(t.wakeAt, int32(t.id))
+			return
+		}
 	}
+	if at := d.readyAt(t); at > d.cycle {
+		d.evq.push(at, int32(t.id))
+		return
+	}
+	d.issuable.set(t.id)
+	d.issuableN++
+}
+
+// readyAt returns the earliest cycle a running thread may issue its current
+// instruction: the revolver/forwarding spacing plus, under forwarding, the
+// producer latencies of the µop's source registers.
+func (d *DPU) readyAt(t *thread) uint64 {
+	at := t.nextIssueAt
 	if d.cfg.Forwarding {
-		in := &d.prog.Instrs[t.pc]
-		var buf [2]isa.RegID
-		for _, r := range in.SrcRegs(buf[:0]) {
-			if t.regReady[r] > d.cycle {
-				return false
+		u := &d.uops[t.pc]
+		for i := uint8(0); i < u.nSrc; i++ {
+			if r := t.regReady[u.src[i]]; r > at {
+				at = r
 			}
 		}
+	}
+	return at
+}
+
+// scheduleAfterIssue re-arms a still-running thread's timer after it issued:
+// in cache mode a changed PC is fetched at the next cycle boundary (when the
+// census used to see it); otherwise the thread sleeps until its ready time.
+func (d *DPU) scheduleAfterIssue(t *thread) {
+	if d.icache != nil && t.fetchPC != int(t.pc) {
+		d.evq.push(d.cycle+1, int32(t.id))
+		return
+	}
+	d.evq.push(d.readyAt(t), int32(t.id))
+}
+
+// issueOne picks the next issuable thread round-robin and executes one
+// instruction, folding the resulting state transition back into the
+// scheduler counters. It reports whether anything issued.
+func (d *DPU) issueOne() bool {
+	i := d.issuable.nextFrom(d.rr)
+	if i < 0 {
+		return false
+	}
+	d.rr = i + 1
+	if d.rr == len(d.threads) {
+		d.rr = 0
+	}
+	t := d.threads[i]
+	d.issuable.clear(i)
+	d.issuableN--
+	d.execute(t)
+	switch t.state {
+	case threadRunning:
+		d.scheduleAfterIssue(t)
+	case threadStopped:
+		d.aliveN--
+		// Blocked threads are accounted at their block site, which also
+		// arms the wake timer once the completion time is known.
 	}
 	return true
 }
 
-// issueOne selects the next issuable thread round-robin and executes one
-// instruction. It reports whether anything issued.
-func (d *DPU) issueOne() bool {
-	n := len(d.threads)
-	for i := 0; i < n; i++ {
-		t := d.threads[(d.rr+i)%n]
-		if t.state != threadRunning || !d.canIssue(t) {
-			continue
-		}
-		d.rr = (d.rr + i + 1) % n
-		d.execute(t)
-		return true
-	}
-	return false
-}
-
-func (d *DPU) wakeThreads() {
-	for _, t := range d.threads {
-		if t.state == threadBlocked && t.wakeAt <= d.cycle {
-			t.state = threadRunning
-		}
-	}
-}
-
-func (d *DPU) attributeIdle(slots float64, memN, revN int) {
-	tot := memN + revN
-	if tot == 0 {
-		// Only the just-issued thread(s) remain runnable; the leftover slot
-		// is a revolver artifact of the issuing thread itself.
-		d.st.Idle[stats.IdleRevolver] += slots
-		return
-	}
-	d.st.Idle[stats.IdleMemory] += slots * float64(memN) / float64(tot)
-	d.st.Idle[stats.IdleRevolver] += slots * float64(revN) / float64(tot)
-}
-
-// fastForward jumps the clock to the next scheduling event, bulk-accounting
-// the skipped idle cycles.
+// fastForward jumps the clock to the unified next-event time — the earliest
+// scheduler timer, the bank's next decision, or the deadline — bulk-
+// accounting the skipped idle cycles.
 func (d *DPU) fastForward(deadline uint64, memN, revN int) {
 	next := uint64(neverWake)
-	for _, t := range d.threads {
-		switch t.state {
-		case threadRunning:
-			ev := t.nextIssueAt
-			if d.cfg.Forwarding {
-				in := &d.prog.Instrs[t.pc]
-				var buf [2]isa.RegID
-				for _, r := range in.SrcRegs(buf[:0]) {
-					if t.regReady[r] > ev {
-						ev = t.regReady[r]
-					}
-				}
-			}
-			if ev < next {
-				next = ev
-			}
-		case threadBlocked:
-			if t.wakeAt < next {
-				next = t.wakeAt
-			}
-		}
+	if len(d.evq) > 0 {
+		next = d.evq[0].at
 	}
 	if at, ok := d.bank.NextDecisionAt(); ok {
-		c := d.cycleOf(at)
-		if c < next {
+		if c := d.cycleOf(at); c < next {
 			next = c
 		}
 	}
@@ -469,36 +644,16 @@ func (d *DPU) fastForward(deadline uint64, memN, revN int) {
 	skip := next - d.cycle
 	width := float64(d.cfg.IssueWidth)
 	d.st.IssueSlots += float64(skip) * width
-	d.attributeIdle(float64(skip)*width, memN, revN)
-	d.recordTLP(0, skip)
+	d.st.AttributeIdle(float64(skip)*width, memN, revN)
+	d.st.RecordTLP(0, skip, d.cfg.TimelineWindow)
 	d.cycle = next
-}
-
-// recordTLP accounts `count` cycles each observing `issuable` threads.
-func (d *DPU) recordTLP(issuable int, count uint64) {
-	d.st.TLPHist[stats.TLPBin(issuable)] += count
-	d.st.IssuableSum += uint64(issuable) * count
-	if w := d.cfg.TimelineWindow; w > 0 {
-		d.st.TimelineWindow = w
-		for count > 0 {
-			room := uint64(w - d.tlCount)
-			step := min(count, room)
-			d.tlAcc += float64(issuable) * float64(step)
-			d.tlCount += int(step)
-			count -= step
-			if d.tlCount == w {
-				d.st.Timeline = append(d.st.Timeline, float32(d.tlAcc/float64(w)))
-				d.tlAcc, d.tlCount = 0, 0
-			}
-		}
-	}
 }
 
 // finish closes out the kernel: drains the bank, flushes dirty cache lines
 // (so byte accounting is end-to-end), and freezes counters.
 func (d *DPU) finish() {
 	if d.bank.Pending() > 0 {
-		d.bank.Advance(^Tick(0), d.onBurst)
+		d.bank.Advance(^Tick(0), d.onBurstFn)
 	}
 	if d.dcache != nil {
 		d.dcache.FlushDirty(d.nowTick())
@@ -517,6 +672,11 @@ func (d *DPU) fault(t *thread, in isa.Instruction, err error) {
 	}
 }
 
+// faultPC records a fault against the thread's current instruction.
+func (d *DPU) faultPC(t *thread, err error) {
+	d.fault(t, d.prog.Instrs[t.pc], err)
+}
+
 // --- memory-system glue -----------------------------------------------
 
 // iramBacking maps an instruction index to the DRAM address backing IRAM in
@@ -530,28 +690,39 @@ func (d *DPU) iramBacking(pc uint16) uint32 {
 // (top-1MB) so the three reserved regions never collide.
 func (d *DPU) ptBase() uint32 { return uint32(d.cfg.MRAMBytes - 3<<20) }
 
+// addSink registers a burst completion callback and returns its tag,
+// recycling freed slab slots.
+func (d *DPU) addSink(f func(Tick)) uint64 {
+	if n := len(d.freeSinks); n > 0 {
+		tag := d.freeSinks[n-1]
+		d.freeSinks = d.freeSinks[:n-1]
+		d.sinks[tag] = f
+		return tag
+	}
+	d.sinks = append(d.sinks, f)
+	return uint64(len(d.sinks) - 1)
+}
+
 // enqueueEager enqueues a burst and resolves it synchronously via an
 // immediate full drain (used for cache fills and PTE walks, which need a
 // completion time at call time).
 func (d *DPU) enqueueEager(addr uint32, write bool, now Tick) Tick {
-	tag := d.nextTag
-	d.nextTag++
-	var doneAt Tick
-	d.sinks[tag] = func(at Tick) { doneAt = at }
+	tag := d.addSink(d.eagerFn)
 	d.bank.Enqueue(addr, write, now, tag)
-	d.bank.Advance(^Tick(0), d.onBurst)
-	return doneAt
+	d.bank.Advance(^Tick(0), d.onBurstFn)
+	return d.eagerDone
 }
 
 func (d *DPU) runEager() {
 	if d.bank.Pending() > 0 {
-		d.bank.Advance(^Tick(0), d.onBurst)
+		d.bank.Advance(^Tick(0), d.onBurstFn)
 	}
 }
 
 func (d *DPU) onBurst(tag uint64, completeAt Tick) {
 	sink := d.sinks[tag]
-	delete(d.sinks, tag)
+	d.sinks[tag] = nil
+	d.freeSinks = append(d.freeSinks, tag)
 	if sink != nil {
 		sink(completeAt)
 	}

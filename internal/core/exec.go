@@ -114,23 +114,6 @@ func jccTaken(op isa.Opcode, a, b uint32) bool {
 	}
 }
 
-func loadSize(op isa.Opcode) (size int, signExtend bool) {
-	switch op {
-	case isa.OpLW, isa.OpSW:
-		return 4, false
-	case isa.OpLH:
-		return 2, true
-	case isa.OpLHU, isa.OpSH:
-		return 2, false
-	case isa.OpLB:
-		return 1, true
-	case isa.OpLBU, isa.OpSB:
-		return 1, false
-	default:
-		panic(fmt.Sprintf("core: loadSize on %s", op))
-	}
-}
-
 func signExtendVal(v uint32, size int) uint32 {
 	switch size {
 	case 1:
@@ -142,34 +125,22 @@ func signExtendVal(v uint32, size int) uint32 {
 	}
 }
 
-// fwdLatency returns the producer-to-consumer forwarding latency for an
-// issued instruction's destination (forwarding mode only).
-func (d *DPU) fwdLatency(in *isa.Instruction) uint64 {
-	switch in.Class() {
-	case isa.ClassMulDiv:
-		return uint64(d.cfg.FwdLatMulDiv)
-	case isa.ClassLoadStore:
-		return uint64(d.cfg.FwdLatLoad)
-	default:
-		return uint64(d.cfg.FwdLatALU)
-	}
-}
-
 // execute issues one instruction of thread t at the current cycle,
 // performing its functional effects and applying its timing consequences.
+// All static instruction properties come from the decode-once µop table.
 func (d *DPU) execute(t *thread) {
-	in := &d.prog.Instrs[t.pc]
+	u := &d.uops[t.pc]
 	d.st.Instructions++
-	d.st.Mix[in.Class()]++
+	d.st.Mix[u.class]++
 	t.instret++
 
-	rfConflict := !d.cfg.UnifiedRF && in.RFConflict()
+	rfConflict := !d.cfg.UnifiedRF && u.rfConflict()
 	if rfConflict {
 		d.rfDebt++
 	}
 	if d.cfg.TraceIssues {
 		d.trace = append(d.trace, IssueEvent{
-			Cycle: d.cycle, Tasklet: t.id, PC: t.pc, Op: in.Op, RFConflict: rfConflict,
+			Cycle: d.cycle, Tasklet: t.id, PC: t.pc, Op: u.op, RFConflict: rfConflict,
 		})
 	}
 
@@ -184,101 +155,100 @@ func (d *DPU) execute(t *thread) {
 	writeDst := func(r isa.RegID, v uint32) {
 		d.write(t, r, v)
 		if d.cfg.Forwarding && r.IsGPR() {
-			t.regReady[r] = d.cycle + d.fwdLatency(in)
+			t.regReady[r] = d.cycle + d.fwdLat[u.latSel]
 		}
 	}
 
-	switch in.Op.Format() {
-	case isa.FmtRRR:
-		var result uint32
-		if in.Op == isa.OpMOV {
-			result = d.read(t, in.Ra)
+	switch u.kind {
+	case uopALU:
+		b := d.read(t, u.rb)
+		if u.useImm() {
+			b = uint32(u.imm)
+		}
+		result := aluOp(u.op, d.read(t, u.ra), b)
+		writeDst(u.rd, result)
+		if u.cond.Eval(int32(result)) {
+			nextPC = u.target
+		}
+
+	case uopMOV:
+		result := d.read(t, u.ra)
+		writeDst(u.rd, result)
+		if u.cond.Eval(int32(result)) {
+			nextPC = u.target
+		}
+
+	case uopMOVI:
+		writeDst(u.rd, uint32(u.imm))
+
+	case uopMem:
+		d.execMem(t, u, writeDst)
+
+	case uopDMA:
+		d.execDMA(t, u)
+
+	case uopJcc:
+		b := d.read(t, u.rb)
+		if u.useImm() {
+			b = uint32(u.imm)
+		}
+		if jccTaken(u.op, d.read(t, u.ra), b) {
+			nextPC = u.target
+		}
+
+	case uopJUMP:
+		nextPC = u.target
+
+	case uopCALL:
+		writeDst(isa.RegID(23), uint32(t.pc)+1)
+		nextPC = u.target
+
+	case uopJREG:
+		dest := d.read(t, u.ra)
+		if dest >= uint32(len(d.uops)) {
+			d.faultPC(t, fmt.Errorf("jreg to %d beyond program end %d", dest, len(d.uops)))
+			return
+		}
+		nextPC = uint16(dest)
+
+	case uopACQUIRE:
+		ok, err := d.atomic.TryAcquire(int(u.imm), t.id)
+		if err != nil {
+			d.faultPC(t, err)
+			return
+		}
+		if ok {
+			d.st.AcquireOK++
 		} else {
-			b := d.read(t, in.Rb)
-			if in.UseImm {
-				b = uint32(in.Imm)
-			}
-			result = aluOp(in.Op, d.read(t, in.Ra), b)
-		}
-		writeDst(in.Rd, result)
-		if in.Cond.Eval(int32(result)) {
-			nextPC = in.Target
+			d.st.AcquireFail++
+			nextPC = u.target
 		}
 
-	case isa.FmtRI32:
-		writeDst(in.Rd, uint32(in.Imm))
-
-	case isa.FmtMem:
-		d.execMem(t, in, writeDst)
-
-	case isa.FmtDMA:
-		d.execDMA(t, in)
-
-	case isa.FmtJcc:
-		b := d.read(t, in.Rb)
-		if in.UseImm {
-			b = uint32(in.Imm)
-		}
-		if jccTaken(in.Op, d.read(t, in.Ra), b) {
-			nextPC = in.Target
-		}
-
-	case isa.FmtCtl:
-		switch in.Op {
-		case isa.OpJUMP:
-			nextPC = in.Target
-		case isa.OpCALL:
-			writeDst(isa.RegID(23), uint32(t.pc)+1)
-			nextPC = in.Target
-		case isa.OpJREG:
-			dest := d.read(t, in.Ra)
-			if dest >= uint32(len(d.prog.Instrs)) {
-				d.fault(t, *in, fmt.Errorf("jreg to %d beyond program end %d", dest, len(d.prog.Instrs)))
-				return
-			}
-			nextPC = uint16(dest)
-		}
-
-	case isa.FmtSync:
-		switch in.Op {
-		case isa.OpACQUIRE:
-			ok, err := d.atomic.TryAcquire(int(in.Imm), t.id)
-			if err != nil {
-				d.fault(t, *in, err)
-				return
-			}
-			if ok {
-				d.st.AcquireOK++
-			} else {
-				d.st.AcquireFail++
-				nextPC = in.Target
-			}
-		case isa.OpRELEASE:
-			if err := d.atomic.Release(int(in.Imm), t.id); err != nil {
-				d.fault(t, *in, err)
-				return
-			}
-		}
-
-	case isa.FmtNone:
-		switch in.Op {
-		case isa.OpSTOP:
-			t.state = threadStopped
+	case uopRELEASE:
+		if err := d.atomic.Release(int(u.imm), t.id); err != nil {
+			d.faultPC(t, err)
 			return
-		case isa.OpPERF:
-			switch in.Imm {
-			case 0:
-				writeDst(in.Rd, uint32(d.cycle))
-			case 1:
-				writeDst(in.Rd, uint32(t.instret))
-			default:
-				writeDst(in.Rd, 0)
-			}
-		case isa.OpFAULT:
-			d.fault(t, *in, fmt.Errorf("software fault %d (r%d=%d)", in.Imm, in.Rd, d.read(t, in.Rd)))
-			return
-		case isa.OpNOP:
 		}
+
+	case uopSTOP:
+		t.state = threadStopped
+		return
+
+	case uopPERF:
+		switch u.imm {
+		case 0:
+			writeDst(u.rd, uint32(d.cycle))
+		case 1:
+			writeDst(u.rd, uint32(t.instret))
+		default:
+			writeDst(u.rd, 0)
+		}
+
+	case uopFAULT:
+		d.faultPC(t, fmt.Errorf("software fault %d (r%d=%d)", u.imm, u.rd, d.read(t, u.rd)))
+		return
+
+	case uopNOP:
 	}
 	t.pc = nextPC
 }
@@ -286,41 +256,41 @@ func (d *DPU) execute(t *thread) {
 // execMem handles loads/stores. WRAM-space accesses are single-cycle; in
 // cache mode, MRAM-space accesses go through the D-cache (functional data is
 // read/written immediately; the tasklet stalls for the miss latency).
-func (d *DPU) execMem(t *thread, in *isa.Instruction, writeDst func(isa.RegID, uint32)) {
-	addr := d.read(t, in.Ra) + uint32(in.Imm)
-	size, signExtend := loadSize(in.Op)
+func (d *DPU) execMem(t *thread, u *uop, writeDst func(isa.RegID, uint32)) {
+	addr := d.read(t, u.ra) + uint32(u.imm)
+	size := int(u.memSiz)
 	space := mem.Classify(addr, d.cfg.WRAMBytes)
 
 	switch space {
 	case mem.SpaceWRAM:
-		if in.IsStore() {
-			if err := d.wram.Store(addr, size, d.read(t, in.Rd)); err != nil {
-				d.fault(t, *in, err)
+		if u.isStore() {
+			if err := d.wram.Store(addr, size, d.read(t, u.rd)); err != nil {
+				d.faultPC(t, err)
 				return
 			}
 			d.st.WRAMWrites++
 		} else {
 			v, err := d.wram.Load(addr, size)
 			if err != nil {
-				d.fault(t, *in, err)
+				d.faultPC(t, err)
 				return
 			}
-			if signExtend {
+			if u.signExt() {
 				v = signExtendVal(v, size)
 			}
-			writeDst(in.Rd, v)
+			writeDst(u.rd, v)
 			d.st.WRAMReads++
 		}
 	case mem.SpaceMRAM:
 		if d.cfg.Mode != config.ModeCache {
-			d.fault(t, *in, fmt.Errorf("load/store to MRAM space 0x%08x under the scratchpad-centric model (use DMA)", addr))
+			d.faultPC(t, fmt.Errorf("load/store to MRAM space 0x%08x under the scratchpad-centric model (use DMA)", addr))
 			return
 		}
 		off := addr - mem.MRAMBase
 		if d.mmu != nil {
 			poff, ready, err := d.mmu.Translate(off, d.nowTick())
 			if err != nil {
-				d.fault(t, *in, err)
+				d.faultPC(t, err)
 				return
 			}
 			off = poff
@@ -330,42 +300,50 @@ func (d *DPU) execMem(t *thread, in *isa.Instruction, writeDst func(isa.RegID, u
 				d.blockUntil(t, c)
 			}
 		}
-		if in.IsStore() {
-			if err := d.mram.Store(off, size, uint64(d.read(t, in.Rd))); err != nil {
-				d.fault(t, *in, err)
+		if u.isStore() {
+			if err := d.mram.Store(off, size, uint64(d.read(t, u.rd))); err != nil {
+				d.faultPC(t, err)
 				return
 			}
 		} else {
 			v64, err := d.mram.Load(off, size)
 			if err != nil {
-				d.fault(t, *in, err)
+				d.faultPC(t, err)
 				return
 			}
 			v := uint32(v64)
-			if signExtend {
+			if u.signExt() {
 				v = signExtendVal(v, size)
 			}
-			writeDst(in.Rd, v)
+			writeDst(u.rd, v)
 		}
-		ready := d.dcache.Access(off, in.IsStore(), d.nowTick())
+		ready := d.dcache.Access(off, u.isStore(), d.nowTick())
 		if c := d.cycleOf(ready); c > d.cycle {
 			d.blockUntil(t, c)
 		}
 	default:
-		d.fault(t, *in, fmt.Errorf("load/store to %v space at 0x%08x", space, addr))
+		d.faultPC(t, fmt.Errorf("load/store to %v space at 0x%08x", space, addr))
 	}
 }
 
-// blockUntil parks the thread until the given cycle; when the thread is
-// already blocked by an earlier stall of the same instruction, the later
-// wake-up wins.
+// blockUntil parks the thread until the given cycle and arms its wake timer;
+// when the thread is already blocked by an earlier stall of the same
+// instruction, the later wake-up wins (the earlier timer is re-armed lazily
+// when it pops).
 func (d *DPU) blockUntil(t *thread, cycle uint64) {
-	if t.state == threadBlocked && t.wakeAt != neverWake {
-		t.wakeAt = max(t.wakeAt, cycle)
+	if t.state == threadBlocked {
+		if t.wakeAt != neverWake {
+			t.wakeAt = max(t.wakeAt, cycle)
+			return
+		}
+		t.wakeAt = cycle
+		d.evq.push(cycle, int32(t.id))
 		return
 	}
 	t.state = threadBlocked
 	t.wakeAt = cycle
+	d.blockedN++
+	d.evq.push(cycle, int32(t.id))
 }
 
 // dmaTransfer tracks an in-flight LDMA/SDMA.
@@ -377,35 +355,38 @@ type dmaTransfer struct {
 
 // execDMA issues an MRAM<->WRAM DMA: functional copy now, timing through the
 // bank and link, with per-page MMU translation when enabled.
-func (d *DPU) execDMA(t *thread, in *isa.Instruction) {
-	wramAddr := d.read(t, in.Rd)
-	mramAddr := d.read(t, in.Ra)
-	length := in.Imm
-	if !in.UseImm {
-		length = int32(d.read(t, in.Rb))
+func (d *DPU) execDMA(t *thread, u *uop) {
+	wramAddr := d.read(t, u.rd)
+	mramAddr := d.read(t, u.ra)
+	length := u.imm
+	if !u.useImm() {
+		length = int32(d.read(t, u.rb))
 	}
 	if d.cfg.Mode != config.ModeScratchpad {
-		d.fault(t, *in, fmt.Errorf("DMA instructions are only defined under the scratchpad-centric model (mode %v)", d.cfg.Mode))
+		d.faultPC(t, fmt.Errorf("DMA instructions are only defined under the scratchpad-centric model (mode %v)", d.cfg.Mode))
 		return
 	}
 	if length <= 0 || length%8 != 0 || length > 2048 {
-		d.fault(t, *in, fmt.Errorf("DMA length %d must be a positive multiple of 8 <= 2048", length))
+		d.faultPC(t, fmt.Errorf("DMA length %d must be a positive multiple of 8 <= 2048", length))
 		return
 	}
 	if wramAddr%8 != 0 || mramAddr%8 != 0 {
-		d.fault(t, *in, fmt.Errorf("DMA addresses must be 8-byte aligned (wram 0x%x, mram 0x%x)", wramAddr, mramAddr))
+		d.faultPC(t, fmt.Errorf("DMA addresses must be 8-byte aligned (wram 0x%x, mram 0x%x)", wramAddr, mramAddr))
 		return
 	}
 	if mem.Classify(mramAddr, d.cfg.WRAMBytes) != mem.SpaceMRAM {
-		d.fault(t, *in, fmt.Errorf("DMA MRAM address 0x%08x outside MRAM space", mramAddr))
+		d.faultPC(t, fmt.Errorf("DMA MRAM address 0x%08x outside MRAM space", mramAddr))
 		return
 	}
 	off := mramAddr - mem.MRAMBase
 	n := int(length)
-	isLoad := in.Op == isa.OpLDMA
+	isLoad := u.op == isa.OpLDMA
 
 	// Functional copy at issue (transfer-atomic semantics; see package doc).
-	buf := make([]byte, n)
+	if cap(d.dmaBuf) < n {
+		d.dmaBuf = make([]byte, 2048) // DMA length is capped at 2048 above
+	}
+	buf := d.dmaBuf[:n]
 	var err error
 	if isLoad {
 		if err = d.mram.ReadBytes(off, buf); err == nil {
@@ -417,7 +398,7 @@ func (d *DPU) execDMA(t *thread, in *isa.Instruction) {
 		}
 	}
 	if err != nil {
-		d.fault(t, *in, err)
+		d.faultPC(t, err)
 		return
 	}
 	d.st.DMAs++
@@ -430,6 +411,8 @@ func (d *DPU) execDMA(t *thread, in *isa.Instruction) {
 	bb := d.cfg.BurstBytes
 	nBursts := (n + bb - 1) / bb
 	tr.remaining = nBursts
+
+	sink := d.dmaSink(tr, isLoad) // one completion closure per transfer
 
 	pageBytes := uint32(0)
 	if d.mmu != nil {
@@ -448,17 +431,14 @@ func (d *DPU) execDMA(t *thread, in *isa.Instruction) {
 			}
 			paddr, ready, terr := d.mmu.Translate(vaddr, transReady)
 			if terr != nil {
-				d.fault(t, *in, terr)
+				d.faultPC(t, terr)
 				return
 			}
 			physBase = paddr
 			transReady = ready
 		}
 		for b := segStart; b < segEnd; b += bb {
-			tag := d.nextTag
-			d.nextTag++
-			d.sinks[tag] = d.dmaSink(tr, isLoad)
-			d.bank.Enqueue(physBase+uint32(b-segStart), !isLoad, max(now, transReady), tag)
+			d.bank.Enqueue(physBase+uint32(b-segStart), !isLoad, max(now, transReady), d.addSink(sink))
 		}
 		segStart = segEnd
 	}
@@ -467,6 +447,7 @@ func (d *DPU) execDMA(t *thread, in *isa.Instruction) {
 	if t.state != threadBlocked {
 		t.state = threadBlocked
 		t.wakeAt = neverWake
+		d.blockedN++
 	}
 }
 
@@ -481,6 +462,9 @@ func (d *DPU) dmaSink(tr *dmaTransfer, isLoad bool) func(Tick) {
 		tr.remaining--
 		if tr.remaining == 0 {
 			tr.thread.wakeAt = d.cycleOf(tr.lastDone) + 1
+			if tr.thread.state == threadBlocked {
+				d.evq.push(tr.thread.wakeAt, int32(tr.thread.id))
+			}
 		}
 	}
 }

@@ -19,41 +19,62 @@ type warp struct {
 	nextIssueAt uint64
 	blocked     bool
 	wakeAt      uint64
+
+	// Lane-schedule cache: a warp's lanes only move at its own vector issue,
+	// so the minimum PC, the active mask, and the live-lane count are
+	// recomputed there instead of every cycle.
+	minPC      uint16
+	active     []*thread
+	aliveLanes int
 }
 
-func (d *DPU) buildWarps() {
-	w := d.cfg.SIMTWidth
-	for base := 0; base < len(d.threads); base += w {
-		end := min(base+w, len(d.threads))
-		d.warps = append(d.warps, &warp{
-			id:    base / w,
-			lanes: d.threads[base:end],
-		})
-	}
-}
-
-// runnableLanes returns the active-mask lanes: those at the minimum PC among
-// running lanes.
-func (w *warp) runnableLanes() (minPC uint16, active []*thread, alive int) {
-	minPC = ^uint16(0)
+// refreshLanes recomputes the cached lane schedule: the active set is the
+// group of non-stopped lanes at the minimum PC.
+func (w *warp) refreshLanes() {
+	w.minPC = ^uint16(0)
+	w.aliveLanes = 0
 	for _, t := range w.lanes {
 		if t.state == threadStopped {
 			continue
 		}
-		alive++
-		if t.pc < minPC {
-			minPC = t.pc
+		w.aliveLanes++
+		if t.pc < w.minPC {
+			w.minPC = t.pc
 		}
 	}
-	if alive == 0 {
-		return 0, nil, 0
+	w.active = w.active[:0]
+	if w.aliveLanes == 0 {
+		return
 	}
 	for _, t := range w.lanes {
-		if t.state != threadStopped && t.pc == minPC {
-			active = append(active, t)
+		if t.state != threadStopped && t.pc == w.minPC {
+			w.active = append(w.active, t)
 		}
 	}
-	return minPC, active, alive
+}
+
+// buildWarps gangs the tasklets into warps and seeds the warp-level
+// scheduler state (the shared counters and timer queue operate on warps in
+// SIMT mode).
+func (d *DPU) buildWarps() {
+	d.warps = d.warps[:0]
+	sw := d.cfg.SIMTWidth
+	for base := 0; base < len(d.threads); base += sw {
+		end := min(base+sw, len(d.threads))
+		w := &warp{
+			id:    base / sw,
+			lanes: d.threads[base:end],
+		}
+		w.refreshLanes()
+		d.warps = append(d.warps, w)
+	}
+	n := len(d.warps)
+	d.evq = d.evq[:0]
+	d.issuable.reset(n)
+	d.aliveN, d.blockedN, d.issuableN, d.issuableLanesN = n, 0, 0, 0
+	for i := 0; i < n; i++ {
+		d.evq.push(d.cycle, int32(i))
+	}
 }
 
 func (d *DPU) runSIMT(ctx context.Context, deadline uint64) error {
@@ -66,24 +87,24 @@ func (d *DPU) runSIMT(ctx context.Context, deadline uint64) error {
 			nextCtxCheck = d.cycle + ctxCheckInterval
 		}
 		if d.bank.Pending() > 0 {
-			d.bank.Advance(d.nowTick(), d.onBurst)
-		}
-		// Wake warps whose vector memory op completed.
-		for _, w := range d.warps {
-			if w.blocked && w.wakeAt != neverWake && w.wakeAt <= d.cycle {
-				w.blocked = false
+			now := d.nowTick()
+			if at, ok := d.bank.NextDecisionAt(); ok && at <= now {
+				d.bank.Advance(now, d.onBurstFn)
 			}
 		}
+		d.processDueWarps()
 		if d.faultErr != nil {
 			return d.faultErr
 		}
 
-		issuableWarps, issuableLanes, memN, revN, alive := d.simtCensus()
-		if alive == 0 {
+		if d.aliveN == 0 {
 			d.finish()
 			return d.faultErr
 		}
-		d.recordTLP(issuableLanes, 1)
+		issuableWarps, issuableLanes := d.issuableN, d.issuableLanesN
+		memN := d.blockedN
+		revN := d.aliveN - memN - issuableWarps
+		d.st.RecordTLP(issuableLanes, 1, d.cfg.TimelineWindow)
 		d.st.IssueSlots++
 
 		if issuableWarps > 0 {
@@ -93,7 +114,7 @@ func (d *DPU) runSIMT(ctx context.Context, deadline uint64) error {
 				return d.faultErr
 			}
 		} else {
-			d.attributeIdle(1, memN, revN)
+			d.st.AttributeIdle(1, memN, revN)
 			d.simtFastForward(deadline, memN, revN)
 		}
 		d.cycle++
@@ -101,40 +122,48 @@ func (d *DPU) runSIMT(ctx context.Context, deadline uint64) error {
 	return fmt.Errorf("core: dpu %d exceeded its cycle watchdog in SIMT mode (deadline %d): %w", d.id, deadline, ErrWatchdogExpired)
 }
 
-func (d *DPU) simtCensus() (issuableWarps, issuableLanes, memN, revN, alive int) {
-	for _, w := range d.warps {
-		_, active, live := w.runnableLanes()
-		if live == 0 {
-			continue
+// processDueWarps drains the timer queue up to the current cycle, waking
+// blocked warps and admitting ready ones into the issuable set.
+func (d *DPU) processDueWarps() {
+	for len(d.evq) > 0 && d.evq[0].at <= d.cycle {
+		id := d.evq.pop().id
+		w := d.warps[id]
+		if w.aliveLanes == 0 {
+			continue // stale timer of a finished warp
 		}
-		alive++
-		switch {
-		case w.blocked:
-			memN++
-		case w.nextIssueAt > d.cycle:
-			revN++
-		default:
-			issuableWarps++
-			issuableLanes += len(active)
+		if w.blocked {
+			if w.wakeAt == neverWake {
+				continue // the vector-memory sink re-arms the timer
+			}
+			if w.wakeAt > d.cycle {
+				d.evq.push(w.wakeAt, id)
+				continue
+			}
+			w.blocked = false
+			d.blockedN--
 		}
+		d.admitWarp(w)
 	}
-	return
 }
 
+// admitWarp marks a live, unblocked warp issuable, or re-arms its timer for
+// its revolver-ready cycle.
+func (d *DPU) admitWarp(w *warp) {
+	if w.nextIssueAt > d.cycle {
+		d.evq.push(w.nextIssueAt, int32(w.id))
+		return
+	}
+	d.issuable.set(w.id)
+	d.issuableN++
+	d.issuableLanesN += len(w.active)
+}
+
+// simtFastForward jumps the clock to the unified next-event time, bulk-
+// accounting the skipped idle cycles.
 func (d *DPU) simtFastForward(deadline uint64, memN, revN int) {
 	next := uint64(neverWake)
-	for _, w := range d.warps {
-		if _, _, live := w.runnableLanes(); live == 0 {
-			continue
-		}
-		switch {
-		case w.blocked:
-			if w.wakeAt < next {
-				next = w.wakeAt
-			}
-		case w.nextIssueAt < next:
-			next = w.nextIssueAt
-		}
+	if len(d.evq) > 0 {
+		next = d.evq[0].at
 	}
 	if at, ok := d.bank.NextDecisionAt(); ok {
 		if c := d.cycleOf(at); c < next {
@@ -154,109 +183,114 @@ func (d *DPU) simtFastForward(deadline uint64, memN, revN int) {
 	}
 	skip := next - d.cycle - 1
 	d.st.IssueSlots += float64(skip)
-	d.attributeIdle(float64(skip), memN, revN)
-	d.recordTLP(0, skip)
+	d.st.AttributeIdle(float64(skip), memN, revN)
+	d.st.RecordTLP(0, skip, d.cfg.TimelineWindow)
 	d.cycle += skip
 }
 
-// issueWarp picks the next issuable warp round-robin and executes one vector
-// instruction.
+// issueWarp picks the next issuable warp round-robin, executes one vector
+// instruction, and folds the warp's new state back into the scheduler.
 func (d *DPU) issueWarp() {
-	n := len(d.warps)
-	for i := 0; i < n; i++ {
-		w := d.warps[(d.rr+i)%n]
-		if w.blocked || w.nextIssueAt > d.cycle {
-			continue
-		}
-		minPC, active, alive := w.runnableLanes()
-		if alive == 0 || len(active) == 0 {
-			continue
-		}
-		d.rr = (d.rr + i + 1) % n
-		d.executeVector(w, minPC, active)
+	i := d.issuable.nextFrom(d.rr)
+	if i < 0 {
 		return
+	}
+	d.rr = i + 1
+	if d.rr == len(d.warps) {
+		d.rr = 0
+	}
+	w := d.warps[i]
+	d.issuable.clear(i)
+	d.issuableN--
+	d.issuableLanesN -= len(w.active)
+	d.executeVector(w, w.minPC, w.active)
+	w.refreshLanes()
+	switch {
+	case w.aliveLanes == 0:
+		d.aliveN--
+	case w.blocked:
+		d.blockedN++
+		// The vector-memory sink arms the wake timer once the completion
+		// time is known.
+	default:
+		d.evq.push(w.nextIssueAt, int32(w.id))
 	}
 }
 
-// executeVector executes prog.Instrs[pc] across the active lanes in lockstep.
+// executeVector executes the µop at pc across the active lanes in lockstep.
 func (d *DPU) executeVector(w *warp, pc uint16, active []*thread) {
-	in := &d.prog.Instrs[pc]
+	u := &d.uops[pc]
 	d.st.VectorIssues++
 	d.st.Instructions += uint64(len(active))
-	d.st.Mix[in.Class()] += uint64(len(active))
+	d.st.Mix[u.class] += uint64(len(active))
 	w.nextIssueAt = d.cycle + uint64(d.cfg.RevolverCycles)
 	if d.cfg.TraceIssues {
-		d.trace = append(d.trace, IssueEvent{Cycle: d.cycle, Tasklet: w.lanes[0].id, PC: pc, Op: in.Op})
+		d.trace = append(d.trace, IssueEvent{Cycle: d.cycle, Tasklet: w.lanes[0].id, PC: pc, Op: u.op})
 	}
 
-	switch in.Op.Format() {
-	case isa.FmtMem:
-		d.executeVectorMem(w, in, active)
+	switch u.kind {
+	case uopMem:
+		d.executeVectorMem(w, u, active)
 		return
-	case isa.FmtDMA, isa.FmtSync:
-		d.fault(active[0], *in, fmt.Errorf("%s is not supported by the SIMT vector engine", in.Op))
+	case uopDMA, uopACQUIRE, uopRELEASE:
+		d.fault(active[0], d.prog.Instrs[pc], fmt.Errorf("%s is not supported by the SIMT vector engine", u.op))
 		return
 	}
 
 	for _, t := range active {
 		nextPC := pc + 1
-		switch in.Op.Format() {
-		case isa.FmtRRR:
-			var result uint32
-			if in.Op == isa.OpMOV {
-				result = d.read(t, in.Ra)
-			} else {
-				b := d.read(t, in.Rb)
-				if in.UseImm {
-					b = uint32(in.Imm)
-				}
-				result = aluOp(in.Op, d.read(t, in.Ra), b)
+		switch u.kind {
+		case uopALU:
+			b := d.read(t, u.rb)
+			if u.useImm() {
+				b = uint32(u.imm)
 			}
-			d.write(t, in.Rd, result)
-			if in.Cond.Eval(int32(result)) {
-				nextPC = in.Target
+			result := aluOp(u.op, d.read(t, u.ra), b)
+			d.write(t, u.rd, result)
+			if u.cond.Eval(int32(result)) {
+				nextPC = u.target
 			}
-		case isa.FmtRI32:
-			d.write(t, in.Rd, uint32(in.Imm))
-		case isa.FmtJcc:
-			b := d.read(t, in.Rb)
-			if in.UseImm {
-				b = uint32(in.Imm)
+		case uopMOV:
+			result := d.read(t, u.ra)
+			d.write(t, u.rd, result)
+			if u.cond.Eval(int32(result)) {
+				nextPC = u.target
 			}
-			if jccTaken(in.Op, d.read(t, in.Ra), b) {
-				nextPC = in.Target
+		case uopMOVI:
+			d.write(t, u.rd, uint32(u.imm))
+		case uopJcc:
+			b := d.read(t, u.rb)
+			if u.useImm() {
+				b = uint32(u.imm)
 			}
-		case isa.FmtCtl:
-			switch in.Op {
-			case isa.OpJUMP:
-				nextPC = in.Target
-			case isa.OpCALL:
-				d.write(t, isa.RegID(23), uint32(t.pc)+1)
-				nextPC = in.Target
-			case isa.OpJREG:
-				dest := d.read(t, in.Ra)
-				if dest >= uint32(len(d.prog.Instrs)) {
-					d.fault(t, *in, fmt.Errorf("jreg out of range"))
-					return
-				}
-				nextPC = uint16(dest)
+			if jccTaken(u.op, d.read(t, u.ra), b) {
+				nextPC = u.target
 			}
-		case isa.FmtNone:
-			switch in.Op {
-			case isa.OpSTOP:
-				t.state = threadStopped
-				t.instret++
-				continue
-			case isa.OpPERF:
-				if in.Imm == 0 {
-					d.write(t, in.Rd, uint32(d.cycle))
-				} else {
-					d.write(t, in.Rd, uint32(t.instret))
-				}
-			case isa.OpFAULT:
-				d.fault(t, *in, fmt.Errorf("software fault %d", in.Imm))
+		case uopJUMP:
+			nextPC = u.target
+		case uopCALL:
+			d.write(t, isa.RegID(23), uint32(t.pc)+1)
+			nextPC = u.target
+		case uopJREG:
+			dest := d.read(t, u.ra)
+			if dest >= uint32(len(d.uops)) {
+				d.fault(t, d.prog.Instrs[pc], fmt.Errorf("jreg out of range"))
 				return
 			}
+			nextPC = uint16(dest)
+		case uopSTOP:
+			t.state = threadStopped
+			t.instret++
+			continue
+		case uopPERF:
+			if u.imm == 0 {
+				d.write(t, u.rd, uint32(d.cycle))
+			} else {
+				d.write(t, u.rd, uint32(t.instret))
+			}
+		case uopFAULT:
+			d.fault(t, d.prog.Instrs[pc], fmt.Errorf("software fault %d", u.imm))
+			return
 		}
 		t.pc = nextPC
 		t.instret++
@@ -273,55 +307,63 @@ type vecTransfer struct {
 // executeVectorMem performs a vector load/store: WRAM lanes complete in one
 // cycle; MRAM lanes issue (optionally coalesced) bursts straight to the
 // bank — the coalescer datapath of Fig 11(a), with no scratchpad staging.
-func (d *DPU) executeVectorMem(w *warp, in *isa.Instruction, active []*thread) {
-	size, signExtend := loadSize(in.Op)
-	isStore := in.IsStore()
+func (d *DPU) executeVectorMem(w *warp, u *uop, active []*thread) {
+	size := int(u.memSiz)
+	isStore := u.isStore()
 	now := d.nowTick()
 
 	burstMask := ^uint32(d.cfg.BurstBytes - 1)
-	seen := map[uint32]bool{}
-	var bursts []uint32
+	bursts := d.vecBursts[:0]
+	seen := d.vecSeen
+	if d.cfg.SIMTCoalesce {
+		if seen == nil {
+			seen = map[uint32]bool{}
+			d.vecSeen = seen
+		} else {
+			clear(seen)
+		}
+	}
 
 	for _, t := range active {
-		addr := d.read(t, in.Ra) + uint32(in.Imm)
+		addr := d.read(t, u.ra) + uint32(u.imm)
 		switch mem.Classify(addr, d.cfg.WRAMBytes) {
 		case mem.SpaceWRAM:
 			if isStore {
-				if err := d.wram.Store(addr, size, d.read(t, in.Rd)); err != nil {
-					d.fault(t, *in, err)
+				if err := d.wram.Store(addr, size, d.read(t, u.rd)); err != nil {
+					d.faultPC(t, err)
 					return
 				}
 				d.st.WRAMWrites++
 			} else {
 				v, err := d.wram.Load(addr, size)
 				if err != nil {
-					d.fault(t, *in, err)
+					d.faultPC(t, err)
 					return
 				}
-				if signExtend {
+				if u.signExt() {
 					v = signExtendVal(v, size)
 				}
-				d.write(t, in.Rd, v)
+				d.write(t, u.rd, v)
 				d.st.WRAMReads++
 			}
 		case mem.SpaceMRAM:
 			off := addr - mem.MRAMBase
 			if isStore {
-				if err := d.mram.Store(off, size, uint64(d.read(t, in.Rd))); err != nil {
-					d.fault(t, *in, err)
+				if err := d.mram.Store(off, size, uint64(d.read(t, u.rd))); err != nil {
+					d.faultPC(t, err)
 					return
 				}
 			} else {
 				v64, err := d.mram.Load(off, size)
 				if err != nil {
-					d.fault(t, *in, err)
+					d.faultPC(t, err)
 					return
 				}
 				v := uint32(v64)
-				if signExtend {
+				if u.signExt() {
 					v = signExtendVal(v, size)
 				}
-				d.write(t, in.Rd, v)
+				d.write(t, u.rd, v)
 			}
 			d.st.UncoalescedRequests++
 			burst := off & burstMask
@@ -334,31 +376,33 @@ func (d *DPU) executeVectorMem(w *warp, in *isa.Instruction, active []*thread) {
 				bursts = append(bursts, burst)
 			}
 		default:
-			d.fault(t, *in, fmt.Errorf("vector load/store to invalid address 0x%08x", addr))
+			d.faultPC(t, fmt.Errorf("vector load/store to invalid address 0x%08x", addr))
 			return
 		}
 		t.pc++
 		t.instret++
 	}
 
+	d.vecBursts = bursts
 	if len(bursts) == 0 {
 		return
 	}
 	d.st.CoalescedRequests += uint64(len(bursts))
 	tr := &vecTransfer{warp: w, remaining: len(bursts)}
-	for _, b := range bursts {
-		tag := d.nextTag
-		d.nextTag++
-		d.sinks[tag] = func(at Tick) {
-			if at > tr.lastDone {
-				tr.lastDone = at
-			}
-			tr.remaining--
-			if tr.remaining == 0 {
-				tr.warp.wakeAt = d.cycleOf(tr.lastDone) + 1
+	sink := func(at Tick) {
+		if at > tr.lastDone {
+			tr.lastDone = at
+		}
+		tr.remaining--
+		if tr.remaining == 0 {
+			tr.warp.wakeAt = d.cycleOf(tr.lastDone) + 1
+			if tr.warp.blocked {
+				d.evq.push(tr.warp.wakeAt, int32(tr.warp.id))
 			}
 		}
-		d.bank.Enqueue(b, isStore, now, tag)
+	}
+	for _, b := range bursts {
+		d.bank.Enqueue(b, isStore, now, d.addSink(sink))
 	}
 	w.blocked = true
 	w.wakeAt = neverWake

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"upim/internal/isa"
+	"upim/internal/kbuild"
+	"upim/internal/linker"
+
+	"upim/internal/config"
+)
+
+// TestUopDecodeMatchesISA cross-checks the decode-once µop metadata against
+// the isa package's dynamic derivations for randomized instructions of every
+// opcode — the µop table must be a pure cache of those switch chains.
+func TestUopDecodeMatchesISA(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for op := isa.Opcode(0); op < isa.NumOpcodes; op++ {
+		for trial := 0; trial < 32; trial++ {
+			in := isa.Instruction{
+				Op:     op,
+				Rd:     isa.RegID(r.Intn(int(isa.NumRegs))),
+				Ra:     isa.RegID(r.Intn(int(isa.NumRegs))),
+				Rb:     isa.RegID(r.Intn(int(isa.NumRegs))),
+				Imm:    int32(r.Intn(1 << 12)),
+				UseImm: r.Intn(2) == 0,
+				Cond:   isa.Cond(r.Intn(int(isa.NumConds))),
+				Target: uint16(r.Intn(1 << 13)),
+			}
+			u := decodeUop(in)
+
+			if u.op != in.Op {
+				t.Fatalf("%s: op %v", op, u.op)
+			}
+			if u.class != in.Class() {
+				t.Fatalf("%s: class %v, want %v", in, u.class, in.Class())
+			}
+			if u.rfConflict() != in.RFConflict() {
+				t.Fatalf("%s: rfConflict %v, want %v", in, u.rfConflict(), in.RFConflict())
+			}
+			if u.useImm() != in.UseImm {
+				t.Fatalf("%s: useImm %v", in, u.useImm())
+			}
+			var buf [3]isa.RegID
+			srcs := in.SrcRegs(buf[:0])
+			if int(u.nSrc) != len(srcs) {
+				t.Fatalf("%s: nSrc %d, want %d", in, u.nSrc, len(srcs))
+			}
+			for i, s := range srcs {
+				if u.src[i] != s {
+					t.Fatalf("%s: src[%d] = %v, want %v", in, i, u.src[i], s)
+				}
+			}
+			size, signExt := in.MemAccess()
+			if int(u.memSiz) != size || u.signExt() != signExt {
+				t.Fatalf("%s: mem access (%d,%v), want (%d,%v)", in, u.memSiz, u.signExt(), size, signExt)
+			}
+			if u.isStore() != in.IsStore() {
+				t.Fatalf("%s: isStore %v", in, u.isStore())
+			}
+			wantLat := uint8(latALU)
+			switch in.Class() {
+			case isa.ClassMulDiv:
+				wantLat = latMulDiv
+			case isa.ClassLoadStore:
+				wantLat = latLoad
+			}
+			if u.latSel != wantLat {
+				t.Fatalf("%s: latSel %d, want %d", in, u.latSel, wantLat)
+			}
+		}
+	}
+}
+
+// TestUopTableSharedAcrossDPUs checks the decode-once property: two DPUs
+// loaded with the same linked program share one µop table through the
+// linker.Program analysis cache.
+func TestUopTableSharedAcrossDPUs(t *testing.T) {
+	cfg := config.Default()
+	cfg.NumTasklets = 2
+	prog, err := linker.Link(counterKernel(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1, err := New(0, prog, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := New(1, prog, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d1.uops) == 0 || &d1.uops[0] != &d2.uops[0] {
+		t.Fatal("DPUs of one program must share a single decoded µop table")
+	}
+	if len(d1.uops) != len(prog.Instrs) {
+		t.Fatalf("µop table has %d entries for %d instructions", len(d1.uops), len(prog.Instrs))
+	}
+}
+
+// TestUopKindCoversAllOpcodes pins the dispatch mapping: every opcode lands
+// on the µop kind matching its format-level semantics.
+func TestUopKindCoversAllOpcodes(t *testing.T) {
+	for op := isa.Opcode(0); op < isa.NumOpcodes; op++ {
+		kind := kindOf(op)
+		switch op.Format() {
+		case isa.FmtRRR:
+			if op == isa.OpMOV && kind != uopMOV {
+				t.Fatalf("%s -> %d", op, kind)
+			}
+			if op != isa.OpMOV && kind != uopALU {
+				t.Fatalf("%s -> %d", op, kind)
+			}
+		case isa.FmtMem:
+			if kind != uopMem {
+				t.Fatalf("%s -> %d", op, kind)
+			}
+		case isa.FmtDMA:
+			if kind != uopDMA {
+				t.Fatalf("%s -> %d", op, kind)
+			}
+		case isa.FmtJcc:
+			if kind != uopJcc {
+				t.Fatalf("%s -> %d", op, kind)
+			}
+		}
+	}
+	// A kernel built through the real toolchain decodes without gaps.
+	b := kbuild.New("probe")
+	b.Movi(kbuild.R(0), 1)
+	b.Stop()
+	cfg := config.Default()
+	prog, err := linker.Link(b.MustBuild(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, u := range uopsFor(prog) {
+		if u.op != prog.Instrs[i].Op {
+			t.Fatalf("µop %d decodes op %v, want %v", i, u.op, prog.Instrs[i].Op)
+		}
+	}
+}

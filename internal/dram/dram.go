@@ -53,6 +53,12 @@ type Bank struct {
 	globalQ fifo
 	rowQs   map[uint32]*fifo
 
+	// nextDecision memoizes NextDecisionAt between state changes: the DPU's
+	// event clock polls it every cycle, so the poll must be a field read, not
+	// a queue walk. Invalidated by Enqueue and by every serviced decision.
+	nextDecision      Tick
+	nextDecisionValid bool
+
 	st *stats.DRAM
 }
 
@@ -124,6 +130,7 @@ func (b *Bank) Enqueue(addr uint32, write bool, arrival Tick, tag uint64) {
 	}
 	b.nextSeq++
 	b.pending++
+	b.nextDecisionValid = false
 	b.globalQ.push(burst)
 	rq := b.rowQs[burst.row]
 	if rq == nil {
@@ -134,14 +141,22 @@ func (b *Bank) Enqueue(addr uint32, write bool, arrival Tick, tag uint64) {
 }
 
 // NextDecisionAt returns the earliest tick a scheduling decision could be
-// made (used by the DPU's idle fast-forward), or (0, false) when the queue
-// is empty.
+// made (the bank's contribution to the DPU's next-event clock), or
+// (0, false) when the queue is empty.
 func (b *Bank) NextDecisionAt() (Tick, bool) {
+	if b.pending == 0 {
+		return 0, false
+	}
+	if b.nextDecisionValid {
+		return b.nextDecision, true
+	}
 	oldest := b.globalQ.peekPending(^Tick(0))
 	if oldest == nil {
 		return 0, false
 	}
-	return max(b.cmdReadyAt, oldest.Arrival), true
+	b.nextDecision = max(b.cmdReadyAt, oldest.Arrival)
+	b.nextDecisionValid = true
+	return b.nextDecision, true
 }
 
 // Advance makes every scheduling decision whose decision point is <= now,
@@ -163,6 +178,7 @@ func (b *Bank) Advance(now Tick, done CompletionFunc) {
 			b.openRow = -1
 			b.cmdReadyAt = start + b.tRFC
 			b.nextRefreshAt += b.tREFI
+			b.nextDecisionValid = false
 			b.st.Refreshes++
 			continue
 		}
@@ -224,6 +240,7 @@ func (b *Bank) service(burst *Burst, t Tick, done CompletionFunc) {
 	}
 	burst.issued = true
 	b.pending--
+	b.nextDecisionValid = false
 	done(burst.Tag, complete)
 }
 

@@ -359,6 +359,26 @@ func (in Instruction) IsLoad() bool {
 	return false
 }
 
+// MemAccess returns the access width in bytes and whether the loaded value
+// is sign-extended for load/store opcodes, or (0, false) for every other
+// opcode. It is the decode-time source of truth consumed by the core's µop
+// tables.
+func (in Instruction) MemAccess() (size int, signExtend bool) {
+	switch in.Op {
+	case OpLW, OpSW:
+		return 4, false
+	case OpLH:
+		return 2, true
+	case OpLHU, OpSH:
+		return 2, false
+	case OpLB:
+		return 1, true
+	case OpLBU, OpSB:
+		return 1, false
+	}
+	return 0, false
+}
+
 // SrcRegs appends the GPR indices this instruction reads to dst and returns
 // it. Special registers are excluded: they live outside the odd/even split
 // register file and cannot conflict.

@@ -343,3 +343,30 @@ func TestDisassembleStable(t *testing.T) {
 		t.Errorf("Disassemble =\n%q\nwant\n%q", got, want)
 	}
 }
+
+func TestMemAccess(t *testing.T) {
+	cases := []struct {
+		op      Opcode
+		size    int
+		signExt bool
+	}{
+		{OpLW, 4, false}, {OpSW, 4, false},
+		{OpLH, 2, true}, {OpLHU, 2, false}, {OpSH, 2, false},
+		{OpLB, 1, true}, {OpLBU, 1, false}, {OpSB, 1, false},
+	}
+	for _, c := range cases {
+		size, signExt := Instruction{Op: c.op}.MemAccess()
+		if size != c.size || signExt != c.signExt {
+			t.Errorf("%s: MemAccess = (%d, %v), want (%d, %v)", c.op, size, signExt, c.size, c.signExt)
+		}
+	}
+	// Every non-memory opcode reports no access.
+	for op := Opcode(0); op < NumOpcodes; op++ {
+		if op.Format() == FmtMem {
+			continue
+		}
+		if size, _ := (Instruction{Op: op}).MemAccess(); size != 0 {
+			t.Errorf("%s: non-memory opcode reports access size %d", op, size)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package linker
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"upim/internal/config"
 	"upim/internal/isa"
@@ -50,7 +51,9 @@ type Object struct {
 	Fixups  []Fixup
 }
 
-// Program is a fully linked, loadable image.
+// Program is a fully linked, loadable image. Programs are immutable after
+// Link: one Program may back many DPUs and concurrent sweep workers, which is
+// what makes the Analysis cache below sound.
 type Program struct {
 	Name    string
 	Mode    config.Mode
@@ -61,6 +64,24 @@ type Program struct {
 	StaticBytes uint32
 	// StaticSpace is the address space statics were placed in.
 	StaticSpace mem.Space
+
+	// analyses caches derived per-program tables keyed by analysis kind (see
+	// Analysis). Populated lazily; never cleared — it lives exactly as long
+	// as the Program it describes.
+	analyses sync.Map
+}
+
+// Analysis returns the program-derived table identified by key, running build
+// at most once per (Program, key) pair — the attachment point for analysis
+// passes such as the core's decode-once µop table. Concurrent callers may
+// race to build, but only one result is ever published, so build must be a
+// pure function of the (immutable) Program.
+func (p *Program) Analysis(key any, build func(*Program) any) any {
+	if v, ok := p.analyses.Load(key); ok {
+		return v
+	}
+	v, _ := p.analyses.LoadOrStore(key, build(p))
+	return v
 }
 
 // LinkError reports a link failure.

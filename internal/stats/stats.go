@@ -140,6 +140,11 @@ type DPU struct {
 	Timeline       []float32
 	TimelineWindow int
 
+	// Timeline accumulator for the in-progress sampling window (see
+	// RecordTLP); not part of the serialized record.
+	tlAcc   float64
+	tlCount int
+
 	DRAM   DRAM
 	ICache Cache
 	DCache Cache
@@ -187,6 +192,47 @@ func (s *DPU) AvgIssuable() float64 {
 		return 0
 	}
 	return float64(s.IssuableSum) / float64(s.Cycles)
+}
+
+// RecordTLP accounts `count` cycles each observing `issuable` schedulable
+// threads: the Fig 7 histogram, the running issuable sum, and — when window
+// is positive — the Fig 8 timeline, whose samples average the issuable count
+// over each window of that many cycles. Bulk calls (count > 1) fill windows
+// exactly as count repeated single-cycle calls would, which is what lets the
+// core's fast-forward skip idle stretches without touching the figures.
+func (s *DPU) RecordTLP(issuable int, count uint64, window int) {
+	s.TLPHist[TLPBin(issuable)] += count
+	s.IssuableSum += uint64(issuable) * count
+	if window <= 0 {
+		return
+	}
+	s.TimelineWindow = window
+	for count > 0 {
+		room := uint64(window - s.tlCount)
+		step := min(count, room)
+		s.tlAcc += float64(issuable) * float64(step)
+		s.tlCount += int(step)
+		count -= step
+		if s.tlCount == window {
+			s.Timeline = append(s.Timeline, float32(s.tlAcc/float64(window)))
+			s.tlAcc, s.tlCount = 0, 0
+		}
+	}
+}
+
+// AttributeIdle splits `slots` unused issue slots between the memory and
+// revolver idle buckets in proportion to the blocked (memN) and
+// dependency-waiting (revN) thread counts observed that cycle — the paper's
+// Fig 6 attribution rule. With no waiting threads the leftover slots are a
+// revolver artifact of the just-issued thread itself.
+func (s *DPU) AttributeIdle(slots float64, memN, revN int) {
+	tot := memN + revN
+	if tot == 0 {
+		s.Idle[IdleRevolver] += slots
+		return
+	}
+	s.Idle[IdleMemory] += slots * float64(memN) / float64(tot)
+	s.Idle[IdleRevolver] += slots * float64(revN) / float64(tot)
 }
 
 // Breakdown returns the issue-slot breakdown as fractions that sum to ~1:

@@ -193,3 +193,51 @@ func TestIdleReasonStrings(t *testing.T) {
 		t.Fatal("idle reason labels wrong")
 	}
 }
+
+func TestAttributeIdleProportions(t *testing.T) {
+	var s DPU
+	s.AttributeIdle(4, 3, 1)
+	if s.Idle[IdleMemory] != 3 || s.Idle[IdleRevolver] != 1 {
+		t.Fatalf("idle split = %v, want 3:1 over 4 slots", s.Idle)
+	}
+	// No waiting threads: the leftover slot is a revolver artifact.
+	var s2 DPU
+	s2.AttributeIdle(2, 0, 0)
+	if s2.Idle[IdleRevolver] != 2 || s2.Idle[IdleMemory] != 0 {
+		t.Fatalf("idle split with no waiters = %v", s2.Idle)
+	}
+}
+
+func TestRecordTLPBulkEqualsRepeated(t *testing.T) {
+	// One bulk call must fill histogram, sum, and timeline windows exactly
+	// like the equivalent sequence of single-cycle calls — the property the
+	// scheduler's fast-forward depends on.
+	const window = 7
+	var bulk, step DPU
+	bulk.RecordTLP(3, 2, window)
+	bulk.RecordTLP(0, 16, window)
+	bulk.RecordTLP(5, 4, window)
+	for i := 0; i < 2; i++ {
+		step.RecordTLP(3, 1, window)
+	}
+	for i := 0; i < 16; i++ {
+		step.RecordTLP(0, 1, window)
+	}
+	for i := 0; i < 4; i++ {
+		step.RecordTLP(5, 1, window)
+	}
+	if bulk.TLPHist != step.TLPHist {
+		t.Fatalf("histograms differ: %v vs %v", bulk.TLPHist, step.TLPHist)
+	}
+	if bulk.IssuableSum != step.IssuableSum {
+		t.Fatalf("issuable sums differ: %d vs %d", bulk.IssuableSum, step.IssuableSum)
+	}
+	if len(bulk.Timeline) != len(step.Timeline) {
+		t.Fatalf("timeline lengths differ: %d vs %d", len(bulk.Timeline), len(step.Timeline))
+	}
+	for i := range bulk.Timeline {
+		if bulk.Timeline[i] != step.Timeline[i] {
+			t.Fatalf("timeline[%d] = %v vs %v", i, bulk.Timeline[i], step.Timeline[i])
+		}
+	}
+}
