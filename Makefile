@@ -1,12 +1,26 @@
 GO ?= go
 
-.PHONY: build test bench fmt vet report refdata
+.PHONY: build test race cover bench fmt vet report refdata pathfind-smoke
 
 build:
 	$(GO) build ./...
 
 test: fmt vet
 	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -coverprofile=coverage.out -covermode=atomic ./...
+
+# pathfind-smoke mirrors the CI job: a tiny exploration run twice against
+# one store; the resumed run must be fully cached and byte-identical.
+pathfind-smoke:
+	rm -rf pfstore pfreport1 pfreport2
+	$(GO) run ./cmd/pathfind -bench VA,BS -axes "tasklets=1,4;link=1,2" -scale tiny -store pfstore -pareto -out pfreport1
+	$(GO) run ./cmd/pathfind -bench VA,BS -axes "tasklets=1,4;link=1,2" -scale tiny -store pfstore -pareto -out pfreport2
+	diff -r pfreport1 pfreport2
 
 # bench runs the figure benchmark suite and writes BENCH_3.json (ns/op plus
 # the headline figure metrics, machine-readable). Tune with BENCHTIME=1x for

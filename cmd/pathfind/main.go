@@ -1,0 +1,153 @@
+// Command pathfind is the design-space exploration front end — the paper's
+// pathfinding methodology as a tool. It sweeps typed design axes (tasklets,
+// DPUs, frequency, MRAM-link scale, the ILP feature ladder, memory-hierarchy
+// mode) over a set of benchmarks, runs every feasible point concurrently,
+// and extracts Pareto time/cost frontiers and ranked best configurations.
+//
+// With -store, finished points persist in a content-addressed result store:
+// interrupt an exploration (Ctrl-C) and rerun the same command to resume
+// exactly where it stopped — previously finished points are store hits and
+// are never simulated again, even across different explorations that merely
+// share points.
+//
+// Usage:
+//
+//	pathfind -bench VA,BS -axes "tasklets=1,4,16;ilp=base,D,DRSF;link=1,2,4" \
+//	         -scale tiny -store ./pfstore -pareto -out ./report
+//
+// Axis grammar: semicolon-separated "name=v1,v2,..." with axes tasklets,
+// dpus, freq (MHz), link (bandwidth multiplier), ilp (subsets of DRSF or
+// "base"), mode (scratchpad, cache, simt). Infeasible combinations (e.g.
+// SIMT on a benchmark without a SIMT kernel) are constrained out.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+
+	"upim"
+)
+
+const defaultAxes = "tasklets=1,4,16;ilp=base,DRSF;link=1,2,4"
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		bench    = flag.String("bench", "", "comma-separated benchmark subset (default: all 16)")
+		axesSpec = flag.String("axes", defaultAxes, "design axes: \"name=v1,v2;...\" over tasklets, dpus, freq, link, ilp, mode")
+		scale    = flag.String("scale", "tiny", "dataset scale: tiny, small or paper")
+		dpus     = flag.Int("dpus", 1, "base DPU count (a dpus axis overrides it)")
+		storeDir = flag.String("store", "", "persistent result store directory (enables resume; empty = no persistence)")
+		resume   = flag.Bool("resume", true, "serve previously finished points from the store; -resume=false re-simulates (and refreshes) every point")
+		pareto   = flag.Bool("pareto", false, "print the per-benchmark Pareto frontier (time vs hardware cost) and ranked best configs")
+		top      = flag.Int("top", 3, "designs per benchmark in the best-config ranking")
+		jobs     = flag.Int("jobs", 0, "concurrent simulation points (0 = GOMAXPROCS)")
+		out      = flag.String("out", "", "write a browsable report (CSV+JSON+Markdown+index.md) into this directory")
+		verbose  = flag.Bool("v", false, "log every point as it finishes")
+	)
+	flag.Parse()
+
+	sc, ok := map[string]upim.Scale{"tiny": upim.ScaleTiny, "small": upim.ScaleSmall, "paper": upim.ScalePaper}[*scale]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "pathfind: unknown scale %q (want tiny, small or paper)\n", *scale)
+		return 2
+	}
+	axes, err := upim.ParseAxes(*axesSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pathfind:", err)
+		return 2
+	}
+	benchmarks := upim.Benchmarks()
+	if *bench != "" {
+		benchmarks = strings.Split(*bench, ",")
+	}
+
+	space := upim.NewDesignSpace(benchmarks, axes...)
+	space.Scale = sc
+	space.DPUs = *dpus
+	pts, err := space.Points()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pathfind:", err)
+		return 2
+	}
+	if len(pts) == 0 {
+		fmt.Fprintln(os.Stderr, "pathfind: every point of the space is infeasible; relax the axes or benchmarks")
+		return 2
+	}
+	fmt.Fprintf(os.Stderr, "pathfind: exploring %d feasible points (%d raw) over %d benchmarks\n",
+		len(pts), space.Size(), len(benchmarks))
+
+	opts := upim.ExploreOptions{Parallelism: *jobs, Refresh: !*resume}
+	var store *upim.ResultStore
+	if *storeDir != "" {
+		if store, err = upim.OpenResultStore(*storeDir); err != nil {
+			fmt.Fprintln(os.Stderr, "pathfind:", err)
+			return 1
+		}
+		opts.Store = store
+	}
+	if *verbose {
+		opts.OnOutcome = func(o upim.ExploreOutcome) {
+			status := "simulated"
+			switch {
+			case o.Cached:
+				status = "cached"
+			case o.Err != nil:
+				status = "FAILED: " + o.Err.Error()
+			}
+			fmt.Fprintf(os.Stderr, "pathfind: %s %s: %s\n", o.Point.Benchmark, o.Point.Design, status)
+		}
+	}
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer cancel()
+
+	x, err := upim.Explore(ctx, space, opts)
+	if x == nil {
+		fmt.Fprintln(os.Stderr, "pathfind:", err)
+		return 1
+	}
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintf(os.Stderr, "pathfind: interrupted after %d simulated points", x.Simulated)
+		if store != nil {
+			fmt.Fprintf(os.Stderr, " — rerun with the same -store %s to resume", store.Dir())
+		}
+		fmt.Fprintln(os.Stderr)
+		return 1
+	}
+
+	tables := []*upim.ResultTable{x.SummaryTable()}
+	if *pareto {
+		tables = append(tables, x.ParetoTable(), x.BestTable(*top))
+	}
+	for _, tab := range tables {
+		tab.Fprint(os.Stdout)
+	}
+	if *out != "" {
+		if werr := upim.WriteReport(*out, tables); werr != nil {
+			fmt.Fprintln(os.Stderr, "pathfind:", werr)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "pathfind: wrote %d artifacts + index.md to %s\n", len(tables), *out)
+	}
+
+	fmt.Fprintf(os.Stderr, "pathfind: %d points: %d cached, %d simulated, %d failed\n",
+		len(x.Outcomes), x.Hits, x.Simulated, x.Failed)
+	if store != nil {
+		n, _ := store.Count()
+		fmt.Fprintf(os.Stderr, "pathfind: store %s now holds %d points\n", store.Dir(), n)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pathfind:", err)
+		return 1
+	}
+	return 0
+}

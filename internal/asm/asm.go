@@ -134,6 +134,10 @@ func (a *assembler) splitStatement(line int, raw string) (statement, error) {
 		return st, nil
 	}
 	fields := strings.FieldsFunc(s, func(r rune) bool { return r == ' ' || r == '\t' || r == ',' })
+	if len(fields) == 0 {
+		// Separator-only lines (",", ", ,") survive the trim above.
+		return st, a.errf(line, raw, "statement has no tokens")
+	}
 	if strings.HasPrefix(fields[0], ".") {
 		st.directive = fields[0]
 		st.fields = fields[1:]

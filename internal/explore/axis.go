@@ -1,0 +1,198 @@
+package explore
+
+import (
+	"fmt"
+	"math"
+
+	"upim/internal/config"
+	"upim/internal/engine"
+)
+
+// Level is one setting of a design axis: a display label, the mutation it
+// applies to a simulation point, and a unitless hardware-cost contribution.
+//
+// Costs follow one convention across all built-in axes so Pareto frontiers
+// over (time, cost) are meaningful: the baseline level costs 0 and each
+// doubling of a hardware resource (frequency, link width, DPU count) or each
+// added microarchitectural feature (an ILP letter, a cache hierarchy, a
+// vector unit) adds 1. Software-only knobs (tasklet count) are free.
+type Level struct {
+	Label string
+	Cost  float64
+	Apply func(*engine.Point)
+}
+
+// Axis is one named design dimension: an ordered list of levels, the first
+// of which is conventionally the baseline. Axes are applied to a point in
+// the order they appear in the Space, so order matters when levels touch the
+// same configuration field (e.g. an ILP "F" level doubles whatever clock a
+// frequency axis selected).
+type Axis struct {
+	Name   string
+	Levels []Level
+}
+
+// NewAxis builds a custom axis from explicit levels. The built-in
+// constructors below cover the paper's pathfinding dimensions; NewAxis is
+// the escape hatch for sweeping any other config.Config field.
+func NewAxis(name string, levels ...Level) Axis {
+	if name == "" || len(levels) == 0 {
+		panic("explore: axis needs a name and at least one level")
+	}
+	return Axis{Name: name, Levels: levels}
+}
+
+// Tasklets sweeps the number of threads launched per DPU. Under ModeSIMT
+// the value counts warps: Space.Points multiplies it by the configured SIMT
+// width to get lanes once every axis has applied (matching the paper's
+// Fig 11 setup, independent of axis order). A software knob, so every level
+// costs 0.
+func Tasklets(counts ...int) Axis {
+	a := Axis{Name: "tasklets"}
+	for _, n := range counts {
+		if n < 1 {
+			panic(fmt.Sprintf("explore: Tasklets(%d): need at least one tasklet", n))
+		}
+		n := n
+		a.Levels = append(a.Levels, Level{
+			Label: fmt.Sprint(n),
+			Apply: func(p *engine.Point) { p.Config.NumTasklets = n },
+		})
+	}
+	return mustLevels(a)
+}
+
+// DPUs sweeps the DPU allocation size. Cost is log2(n): doubling the chip
+// count adds 1.
+func DPUs(counts ...int) Axis {
+	a := Axis{Name: "dpus"}
+	for _, n := range counts {
+		if n < 1 {
+			panic(fmt.Sprintf("explore: DPUs(%d): need at least one DPU", n))
+		}
+		n := n
+		a.Levels = append(a.Levels, Level{
+			Label: fmt.Sprint(n),
+			Cost:  math.Log2(float64(n)),
+			Apply: func(p *engine.Point) { p.DPUs = n },
+		})
+	}
+	return mustLevels(a)
+}
+
+// FrequencyMHz sweeps the DPU core clock. Frequencies must divide the
+// simulator tick clock (config.TickFrequencyMHz); cost is log2(f/350), so
+// the paper's 700 MHz "F" point costs 1.
+func FrequencyMHz(mhz ...int) Axis {
+	a := Axis{Name: "freq"}
+	for _, f := range mhz {
+		if f <= 0 || config.TickFrequencyMHz%f != 0 {
+			panic(fmt.Sprintf("explore: FrequencyMHz(%d): frequency must divide the %d MHz tick clock", f, config.TickFrequencyMHz))
+		}
+		f := f
+		a.Levels = append(a.Levels, Level{
+			Label: fmt.Sprint(f),
+			Cost:  math.Log2(float64(f) / float64(config.LinkReferenceFreqMHz)),
+			Apply: func(p *engine.Point) { p.Config.FreqMHz = f },
+		})
+	}
+	return mustLevels(a)
+}
+
+// LinkScale sweeps the MRAM-to-WRAM link bandwidth as a multiplier over the
+// Table I width (the paper's Fig 13 axis). Cost is log2(scale).
+func LinkScale(scales ...int) Axis {
+	a := Axis{Name: "link"}
+	for _, s := range scales {
+		if s < 1 {
+			panic(fmt.Sprintf("explore: LinkScale(%d): scale must be positive", s))
+		}
+		s := s
+		a.Levels = append(a.Levels, Level{
+			Label: fmt.Sprintf("x%d", s),
+			Cost:  math.Log2(float64(s)),
+			Apply: func(p *engine.Point) { p.Config.LinkBytesPerCycle *= s },
+		})
+	}
+	return mustLevels(a)
+}
+
+// ILP sweeps the additive Fig 12 feature ladder. Each variant is a subset of
+// "DRSF" (each letter at most once); "" or "base" is the baseline. Cost is
+// the number of enabled features.
+func ILP(variants ...string) Axis {
+	a := Axis{Name: "ilp"}
+	for _, v := range variants {
+		features, err := ilpFeatures(v)
+		if err != nil {
+			panic("explore: " + err.Error())
+		}
+		label := "base"
+		if features != "" {
+			label = features
+		}
+		a.Levels = append(a.Levels, Level{
+			Label: label,
+			Cost:  float64(len(features)),
+			Apply: func(p *engine.Point) { p.Config = p.Config.WithILP(features) },
+		})
+	}
+	return mustLevels(a)
+}
+
+// ilpFeatures validates one ILP variant spec and normalizes "base" to "".
+func ilpFeatures(v string) (string, error) {
+	if v == "base" {
+		return "", nil
+	}
+	seen := make(map[rune]bool, len(v))
+	for _, f := range v {
+		switch f {
+		case 'D', 'R', 'S', 'F':
+			if seen[f] {
+				return "", fmt.Errorf("ILP variant %q repeats feature %q", v, string(f))
+			}
+			seen[f] = true
+		default:
+			return "", fmt.Errorf("ILP variant %q: unknown feature %q (want a subset of DRSF, or \"base\")", v, string(f))
+		}
+	}
+	return v, nil
+}
+
+// Modes sweeps the memory-hierarchy variant: the scratchpad baseline (cost
+// 0), the case-study 4 cache hierarchy (cost 1), or the case-study 1 SIMT
+// vector engine (cost 2). Under SIMT the tasklet count names warps, not
+// lanes — Space.Points performs the SIMT-width lane expansion after all
+// axes have applied, so axis declaration order cannot change the lane
+// count; benchmarks without a kernel variant for a mode are constrained
+// out of the space.
+func Modes(modes ...config.Mode) Axis {
+	a := Axis{Name: "mode"}
+	for _, m := range modes {
+		var cost float64
+		switch m {
+		case config.ModeScratchpad:
+		case config.ModeCache:
+			cost = 1
+		case config.ModeSIMT:
+			cost = 2
+		default:
+			panic(fmt.Sprintf("explore: Modes(%v): unknown mode", m))
+		}
+		m := m
+		a.Levels = append(a.Levels, Level{
+			Label: m.String(),
+			Cost:  cost,
+			Apply: func(p *engine.Point) { p.Config.Mode = m },
+		})
+	}
+	return mustLevels(a)
+}
+
+func mustLevels(a Axis) Axis {
+	if len(a.Levels) == 0 {
+		panic(fmt.Sprintf("explore: axis %q has no levels", a.Name))
+	}
+	return a
+}

@@ -1,0 +1,187 @@
+// Package explore is the pathfinding design-space explorer — the paper's
+// headline methodology turned into a subsystem. A Space is the constrained
+// Cartesian product of typed design axes (tasklets, DPUs, frequency,
+// MRAM-link scale, the ILP feature ladder, memory-hierarchy mode) over a
+// base configuration and a set of benchmarks; an Explorer drives every point
+// of a space through the concurrent sweep engine, backed by a persistent
+// content-addressed result Store so interrupted or repeated explorations
+// resume instantly and a point is never simulated twice — not even across
+// processes or across explorations that merely overlap.
+//
+// On top of the raw outcomes, Pareto extraction (pareto.go) and artifact
+// tables (tables.go) turn an exploration into the deliverables the paper's
+// pathfinding chapters are about: time/cost frontiers and ranked best
+// configurations per benchmark.
+package explore
+
+import (
+	"context"
+
+	"upim/internal/engine"
+	"upim/internal/prim"
+)
+
+// Options parameterize an Explorer.
+type Options struct {
+	// Parallelism bounds the sweep worker pool (<= 0 selects GOMAXPROCS).
+	Parallelism int
+	// Watchdog bounds each point's per-DPU launch cycles (0 = host default).
+	// It is part of a point's store key, so changing it re-simulates.
+	Watchdog uint64
+	// Store persists finished points; nil disables persistence.
+	Store *Store
+	// Refresh ignores existing store entries (every point re-simulates) while
+	// still writing fresh ones — for explicitly re-validating a store after a
+	// simulator change without deleting it.
+	Refresh bool
+	// Cache shares kernel builds with other engines; nil allocates a private
+	// cache.
+	Cache *prim.BuildCache
+	// OnOutcome, when non-nil, observes every outcome (cached or simulated)
+	// synchronously as it is recorded — progress display, early cancellation.
+	OnOutcome func(Outcome)
+}
+
+// Outcome is the result of one design point.
+type Outcome struct {
+	// Point is the originating design point; Index its position in
+	// Exploration.Points.
+	Point Point
+	Index int
+	// Key is the point's content address in the store.
+	Key string
+	// Result is the verified simulation result (nil when Err is set or the
+	// exploration was cancelled before the point ran).
+	Result *prim.Result
+	// Cached marks a store hit: the point was not simulated by this run.
+	Cached bool
+	Err    error
+}
+
+// Exploration is one explored space: every point with its outcome
+// (index-aligned), plus counters proving how much work the store saved.
+type Exploration struct {
+	Space    *Space
+	Points   []Point
+	Outcomes []Outcome
+	// Hits counts points served from the store, Simulated points actually
+	// run by this exploration, Failed points that errored.
+	Hits, Simulated, Failed int
+}
+
+// FirstErr returns the first point error in point order, if any.
+func (x *Exploration) FirstErr() error {
+	for i := range x.Outcomes {
+		if err := x.Outcomes[i].Err; err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Explorer runs design spaces through the sweep engine and the result store.
+// All methods are safe for concurrent use.
+type Explorer struct {
+	eng       *engine.Engine
+	store     *Store
+	watchdog  uint64
+	refresh   bool
+	onOutcome func(Outcome)
+}
+
+// New builds an Explorer.
+func New(opts Options) *Explorer {
+	cache := opts.Cache
+	if cache == nil {
+		cache = prim.NewBuildCache()
+	}
+	return &Explorer{
+		eng:       engine.NewWithCache(opts.Parallelism, cache),
+		store:     opts.Store,
+		watchdog:  opts.Watchdog,
+		refresh:   opts.Refresh,
+		onOutcome: opts.OnOutcome,
+	}
+}
+
+// Explore runs every point of the space: points already in the store are
+// served from it (Cached outcomes, no simulation); the rest run concurrently
+// on the sweep engine and are persisted as they finish, so cancelling ctx
+// mid-run loses at most the in-flight points — a later Explore over the same
+// store resumes where this one stopped.
+//
+// The returned Exploration is always non-nil and index-aligned with the
+// space's points. The error is ctx.Err() after a cancellation, otherwise the
+// first per-point failure (all points are attempted regardless); per-point
+// errors are also recorded on their outcomes.
+func (e *Explorer) Explore(ctx context.Context, space *Space) (*Exploration, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	pts, err := space.Points()
+	if err != nil {
+		return nil, err
+	}
+	x := &Exploration{Space: space, Points: pts, Outcomes: make([]Outcome, len(pts))}
+	var missIdx []int
+	var missPts []engine.Point
+	for i, p := range pts {
+		ep := p.EP
+		if ep.Watchdog == 0 {
+			ep.Watchdog = e.watchdog
+		}
+		o := Outcome{Point: p, Index: i, Key: KeyOf(ep)}
+		if !e.refresh {
+			if res, ok := e.store.Get(o.Key); ok {
+				o.Result, o.Cached = res, true
+				x.Hits++
+			}
+		}
+		x.Outcomes[i] = o
+		if !o.Cached {
+			missIdx = append(missIdx, i)
+			missPts = append(missPts, ep)
+		} else {
+			e.emit(o)
+		}
+	}
+	if len(missPts) > 0 {
+		for eo := range e.eng.Sweep(ctx, missPts) {
+			o := &x.Outcomes[missIdx[eo.Index]]
+			o.Result, o.Err = eo.Result, eo.Err
+			if o.Err == nil && o.Result != nil {
+				if perr := e.store.Put(o.Key, missPts[eo.Index], o.Result); perr != nil {
+					o.Err = perr
+				}
+			}
+			// A point that simulated but failed to persist counts as failed,
+			// not simulated: its outcome carries the store error and the next
+			// run will re-simulate it.
+			if o.Err != nil {
+				x.Failed++
+			} else if o.Result != nil {
+				x.Simulated++
+			}
+			e.emit(*o)
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		// Mark the points the cancelled sweep never delivered.
+		for i := range x.Outcomes {
+			if x.Outcomes[i].Result == nil && x.Outcomes[i].Err == nil {
+				x.Outcomes[i].Err = err
+			}
+		}
+		return x, err
+	}
+	return x, x.FirstErr()
+}
+
+// CacheStats exposes the kernel build-cache counters.
+func (e *Explorer) CacheStats() prim.CacheStats { return e.eng.CacheStats() }
+
+func (e *Explorer) emit(o Outcome) {
+	if e.onOutcome != nil {
+		e.onOutcome(o)
+	}
+}

@@ -1,0 +1,100 @@
+package explore
+
+// Goal is one Pareto objective extracted from a successful outcome. Lower
+// values are better for every goal (maximization goals negate).
+type Goal struct {
+	Name string
+	// Unit annotates artifact columns ("ms", "" for unitless).
+	Unit string
+	// Value extracts the objective from an outcome with a non-nil Result,
+	// expressed in Unit units — artifact tables render it as-is.
+	Value func(Outcome) float64
+}
+
+// GoalTime is the modeled end-to-end milliseconds of a point (kernel plus
+// every transfer phase) — the performance axis of the paper's pathfinding
+// studies.
+func GoalTime() Goal {
+	return Goal{
+		Name: "total time",
+		Unit: "ms",
+		Value: func(o Outcome) float64 {
+			r := o.Result.Report
+			return r.Total() * 1e3
+		},
+	}
+}
+
+// GoalKernelTime is the modeled kernel-only milliseconds of a point,
+// excluding host transfers — the single-DPU characterization axis.
+func GoalKernelTime() Goal {
+	return Goal{
+		Name:  "kernel time",
+		Unit:  "ms",
+		Value: func(o Outcome) float64 { return o.Result.Report.KernelSeconds * 1e3 },
+	}
+}
+
+// GoalCost is the summed hardware cost of the point's axis levels — the
+// "how much future silicon does this design spend" axis (see Level).
+func GoalCost() Goal {
+	return Goal{
+		Name:  "cost",
+		Value: func(o Outcome) float64 { return o.Point.Cost },
+	}
+}
+
+// Pareto returns the Pareto frontier of the given outcomes under the goals:
+// the outcomes not dominated by any other (a dominates b when a is no worse
+// on every goal and strictly better on at least one). Outcomes without a
+// result (failed or cancelled points) are excluded; input order is
+// preserved, so frontiers are deterministic. Callers comparing across
+// benchmarks should group first — dominance across different workloads is
+// meaningless.
+func Pareto(outs []Outcome, goals ...Goal) []Outcome {
+	if len(goals) == 0 {
+		goals = []Goal{GoalTime(), GoalCost()}
+	}
+	var ok []Outcome
+	for _, o := range outs {
+		if o.Result != nil && o.Err == nil {
+			ok = append(ok, o)
+		}
+	}
+	vals := make([][]float64, len(ok))
+	for i, o := range ok {
+		vals[i] = make([]float64, len(goals))
+		for g, goal := range goals {
+			vals[i][g] = goal.Value(o)
+		}
+	}
+	var front []Outcome
+	for i := range ok {
+		dominated := false
+		for j := range ok {
+			if i != j && dominates(vals[j], vals[i]) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			front = append(front, ok[i])
+		}
+	}
+	return front
+}
+
+// dominates reports whether a is no worse than b everywhere and strictly
+// better somewhere (minimization).
+func dominates(a, b []float64) bool {
+	better := false
+	for g := range a {
+		if a[g] > b[g] {
+			return false
+		}
+		if a[g] < b[g] {
+			better = true
+		}
+	}
+	return better
+}

@@ -1,0 +1,103 @@
+package explore
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"upim/internal/config"
+)
+
+// ParseAxes parses a CLI axis specification into typed axes. The grammar is
+// semicolon-separated axes, each "name=v1,v2,...":
+//
+//	tasklets=1,4,16;ilp=base,D,DRSF;link=1,2,4;mode=scratchpad,cache
+//
+// Known axes: tasklets, dpus, freq (MHz), link (bandwidth multiplier), ilp
+// (subsets of DRSF, "base" for none), mode (scratchpad, cache, simt). Axes
+// are applied to each point in specification order.
+func ParseAxes(spec string) ([]Axis, error) {
+	var axes []Axis
+	for _, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, vals, ok := strings.Cut(part, "=")
+		name = strings.TrimSpace(name)
+		if !ok || name == "" || strings.TrimSpace(vals) == "" {
+			return nil, fmt.Errorf("explore: axis %q: want name=v1,v2,...", part)
+		}
+		var values []string
+		for _, v := range strings.Split(vals, ",") {
+			v = strings.TrimSpace(v)
+			if v == "" {
+				return nil, fmt.Errorf("explore: axis %q has an empty value", name)
+			}
+			values = append(values, v)
+		}
+		axis, err := buildAxis(name, values)
+		if err != nil {
+			return nil, err
+		}
+		axes = append(axes, axis)
+	}
+	if len(axes) == 0 {
+		return nil, fmt.Errorf("explore: empty axis specification")
+	}
+	return axes, nil
+}
+
+func buildAxis(name string, values []string) (Axis, error) {
+	switch name {
+	case "tasklets", "dpus", "freq", "link":
+		ints := make([]int, len(values))
+		for i, v := range values {
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 1 {
+				return Axis{}, fmt.Errorf("explore: axis %q: %q is not a positive integer", name, v)
+			}
+			ints[i] = n
+		}
+		switch name {
+		case "tasklets":
+			return Tasklets(ints...), nil
+		case "dpus":
+			return DPUs(ints...), nil
+		case "link":
+			return LinkScale(ints...), nil
+		default: // freq
+			for _, f := range ints {
+				if config.TickFrequencyMHz%f != 0 {
+					return Axis{}, fmt.Errorf("explore: axis \"freq\": %d MHz does not divide the %d MHz tick clock (350 and its multiples/divisors work)",
+						f, config.TickFrequencyMHz)
+				}
+			}
+			return FrequencyMHz(ints...), nil
+		}
+	case "ilp":
+		for _, v := range values {
+			if _, err := ilpFeatures(v); err != nil {
+				return Axis{}, fmt.Errorf("explore: axis \"ilp\": %w", err)
+			}
+		}
+		return ILP(values...), nil
+	case "mode":
+		modes := make([]config.Mode, len(values))
+		for i, v := range values {
+			switch v {
+			case "scratchpad":
+				modes[i] = config.ModeScratchpad
+			case "cache":
+				modes[i] = config.ModeCache
+			case "simt":
+				modes[i] = config.ModeSIMT
+			default:
+				return Axis{}, fmt.Errorf("explore: axis \"mode\": unknown mode %q (want scratchpad, cache or simt)", v)
+			}
+		}
+		return Modes(modes...), nil
+	default:
+		return Axis{}, fmt.Errorf("explore: unknown axis %q (want tasklets, dpus, freq, link, ilp or mode)", name)
+	}
+}

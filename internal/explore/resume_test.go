@@ -1,0 +1,168 @@
+package explore
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"upim/internal/artifact"
+	"upim/internal/prim"
+)
+
+// resumeSpace is the acceptance-criteria exploration: three axes over two
+// benchmarks at tiny scale (2*2*2 combos x 2 benchmarks = 16 points).
+func resumeSpace() *Space {
+	s := NewSpace([]string{"VA", "BS"}, Tasklets(1, 4), LinkScale(1, 2), ILP("base", "D"))
+	s.Scale = prim.ScaleTiny
+	return s
+}
+
+// writeArtifacts renders the exploration's three artifact tables into dir.
+func writeArtifacts(t *testing.T, x *Exploration, dir string) {
+	t.Helper()
+	tables := []*artifact.Table{x.SummaryTable(), x.ParetoTable(), x.BestTable(3)}
+	if err := artifact.WriteReport(dir, tables); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestInterruptResumeByteIdenticalArtifacts pins the headline store
+// property: an exploration killed mid-run and resumed from its store
+// produces byte-identical artifacts to an uninterrupted run, with every
+// previously finished point served as a store hit and none re-simulated.
+func TestInterruptResumeByteIdenticalArtifacts(t *testing.T) {
+	ctx := context.Background()
+	space := resumeSpace()
+	total := space.Size()
+	if pts, err := space.Points(); err != nil || len(pts) != total {
+		t.Fatalf("space: %d points, err %v (want the full %d)", len(pts), err, total)
+	}
+
+	// Reference: an uninterrupted exploration on a fresh store.
+	refStore, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := New(Options{Parallelism: 4, Store: refStore}).Explore(ctx, space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Simulated != total || ref.Hits != 0 || ref.Failed != 0 {
+		t.Fatalf("reference run: %d simulated, %d hits, %d failed", ref.Simulated, ref.Hits, ref.Failed)
+	}
+	refDir := t.TempDir()
+	writeArtifacts(t, ref, refDir)
+
+	// Interrupted: cancel the context after a few points have been
+	// simulated and persisted, mid-sweep.
+	store, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ictx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	simulated := 0
+	interrupted, err := New(Options{
+		Parallelism: 2,
+		Store:       store,
+		OnOutcome: func(o Outcome) {
+			if !o.Cached && o.Err == nil {
+				simulated++
+				if simulated == 3 {
+					cancel()
+				}
+			}
+		},
+	}).Explore(ictx, space)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted run error = %v, want context.Canceled", err)
+	}
+	finished, err := store.Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if finished == 0 || finished >= total {
+		t.Fatalf("interruption finished %d of %d points; test needs a partial store", finished, total)
+	}
+	if interrupted.Simulated != finished {
+		t.Fatalf("interrupted run counted %d simulated, store holds %d", interrupted.Simulated, finished)
+	}
+	// Undelivered points carry the cancellation error, not fabricated results.
+	skipped := 0
+	for _, o := range interrupted.Outcomes {
+		if o.Result == nil {
+			skipped++
+			if !errors.Is(o.Err, context.Canceled) {
+				t.Fatalf("skipped outcome error = %v", o.Err)
+			}
+		}
+	}
+	if skipped != total-finished {
+		t.Fatalf("skipped = %d, want %d", skipped, total-finished)
+	}
+
+	// Resume: a fresh process would reopen the same directory; emulate that
+	// with a fresh Store and Explorer. Every previously finished point must
+	// be a store hit, only the remainder simulates.
+	store2, err := OpenStore(store.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := New(Options{Parallelism: 1, Store: store2}).Explore(ctx, space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Hits != finished {
+		t.Fatalf("resume hits = %d, want one per previously finished point (%d)", resumed.Hits, finished)
+	}
+	if resumed.Simulated != total-finished {
+		t.Fatalf("resume simulated = %d, want %d (no re-simulation)", resumed.Simulated, total-finished)
+	}
+	if got := store2.Stats().Hits; got != int64(finished) {
+		t.Fatalf("store hit counter = %d, want %d", got, finished)
+	}
+
+	// The resumed artifacts are byte-identical to the uninterrupted run's.
+	resDir := t.TempDir()
+	writeArtifacts(t, resumed, resDir)
+	compareDirs(t, refDir, resDir)
+}
+
+// compareDirs asserts two report directories hold byte-identical files.
+func compareDirs(t *testing.T, refDir, gotDir string) {
+	t.Helper()
+	var refFiles []string
+	err := filepath.WalkDir(refDir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			rel, _ := filepath.Rel(refDir, path)
+			refFiles = append(refFiles, rel)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refFiles) == 0 {
+		t.Fatal("reference report is empty")
+	}
+	for _, rel := range refFiles {
+		want, err := os.ReadFile(filepath.Join(refDir, rel))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := os.ReadFile(filepath.Join(gotDir, rel))
+		if err != nil {
+			t.Fatalf("resumed report is missing %s: %v", rel, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s differs between the uninterrupted and resumed runs", rel)
+		}
+	}
+}

@@ -1,0 +1,192 @@
+package explore
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+
+	"upim/internal/engine"
+	"upim/internal/prim"
+)
+
+// storeFormat versions the on-disk entry layout AND the semantic meaning of
+// a key: bump it whenever the simulator changes in a way that invalidates
+// previously stored results (a new stats counter, a timing-model fix, ...).
+// Entries from other formats are never returned, so stale stores degrade to
+// re-simulation instead of serving wrong numbers.
+const storeFormat = 1
+
+// KeyOf returns the content address of a simulation point: a SHA-256 over
+// the store format version and the point's canonical JSON — benchmark,
+// full hardware configuration, DPU count, dataset scale and watchdog. Two
+// points share a key exactly when the simulator would produce identical
+// results for them (the simulator is deterministic), which is what lets
+// interrupted or repeated explorations reuse each other's finished points.
+func KeyOf(p engine.Point) string {
+	rec := struct {
+		Format int          `json:"format"`
+		Point  engine.Point `json:"point"`
+	}{storeFormat, p}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		// engine.Point is plain data; Marshal cannot fail on it.
+		panic(fmt.Sprintf("explore: marshaling point key: %v", err))
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// entry is the on-disk envelope of one stored result. Point is stored
+// alongside the result for debuggability (a store is greppable without the
+// code that produced it).
+type entry struct {
+	Format int          `json:"format"`
+	Key    string       `json:"key"`
+	Point  engine.Point `json:"point"`
+	Result *prim.Result `json:"result"`
+}
+
+// StoreStats counts store activity for one process.
+type StoreStats struct {
+	// Hits and Misses count Get outcomes.
+	Hits, Misses int64
+	// Puts counts successfully persisted results.
+	Puts int64
+	// Corrupt counts entries that existed but failed to decode or carried a
+	// stale format/key; they are treated as misses and overwritten by the
+	// next Put.
+	Corrupt int64
+}
+
+// Store is a persistent, content-addressed result store: one JSON file per
+// simulation point under dir/<key[:2]>/<key>.json, written atomically
+// (temp file + rename) so a killed exploration never leaves a truncated
+// entry behind. Results survive across processes, so resumed or repeated
+// explorations — even ones sharing only some points — never re-simulate a
+// finished point. All methods are safe for concurrent use.
+type Store struct {
+	dir string
+
+	hits, misses, puts, corrupt atomic.Int64
+}
+
+// OpenStore opens (creating if needed) a result store rooted at dir.
+func OpenStore(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("explore: store directory must not be empty")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("explore: opening store: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store root.
+func (s *Store) Dir() string { return s.dir }
+
+// Stats snapshots this process's store counters.
+func (s *Store) Stats() StoreStats {
+	if s == nil {
+		return StoreStats{}
+	}
+	return StoreStats{
+		Hits:    s.hits.Load(),
+		Misses:  s.misses.Load(),
+		Puts:    s.puts.Load(),
+		Corrupt: s.corrupt.Load(),
+	}
+}
+
+// path maps a key to its entry file.
+func (s *Store) path(key string) string {
+	return filepath.Join(s.dir, key[:2], key+".json")
+}
+
+// Get returns the stored result for key, or ok=false when the point has not
+// been simulated yet. Undecodable or mismatched entries count as corrupt
+// and report a miss, so a stale or damaged store re-simulates rather than
+// failing the exploration. A nil store always misses.
+func (s *Store) Get(key string) (*prim.Result, bool) {
+	if s == nil {
+		return nil, false
+	}
+	data, err := os.ReadFile(s.path(key))
+	if err != nil {
+		s.misses.Add(1)
+		return nil, false
+	}
+	var e entry
+	if err := json.Unmarshal(data, &e); err != nil || e.Format != storeFormat || e.Key != key || e.Result == nil {
+		s.corrupt.Add(1)
+		s.misses.Add(1)
+		return nil, false
+	}
+	s.hits.Add(1)
+	return e.Result, true
+}
+
+// Put persists one finished point atomically, overwriting any previous
+// entry for the key. A nil store discards the result.
+func (s *Store) Put(key string, p engine.Point, res *prim.Result) error {
+	if s == nil {
+		return nil
+	}
+	if res == nil {
+		return fmt.Errorf("explore: refusing to store a nil result for %s", key)
+	}
+	data, err := json.Marshal(entry{Format: storeFormat, Key: key, Point: p, Result: res})
+	if err != nil {
+		return fmt.Errorf("explore: encoding %s: %w", key, err)
+	}
+	dir := filepath.Dir(s.path(key))
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("explore: store: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, "."+key+".tmp*")
+	if err != nil {
+		return fmt.Errorf("explore: store: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("explore: store: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("explore: store: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), s.path(key)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("explore: store: %w", err)
+	}
+	s.puts.Add(1)
+	return nil
+}
+
+// Count walks the store and returns how many entries it holds on disk (all
+// processes' contributions, not just this one's).
+func (s *Store) Count() (int, error) {
+	if s == nil {
+		return 0, nil
+	}
+	n := 0
+	err := filepath.WalkDir(s.dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && strings.HasSuffix(path, ".json") && !strings.HasPrefix(d.Name(), ".") {
+			n++
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, fmt.Errorf("explore: counting store entries: %w", err)
+	}
+	return n, nil
+}

@@ -73,6 +73,11 @@ type Experiment struct {
 	Run   func(context.Context, Options) (*Table, error)
 }
 
+// aliases maps paper figure numbers onto canonical experiment IDs where the
+// two diverge, so the experiment list resolves 1:1 against the paper's
+// figure numbering: the MMU case study is the paper's Figure 14.
+var aliases = map[string]string{"fig14": "mmu"}
+
 var experiments = []Experiment{
 	{"table1", "simulator configuration (paper Table I)", Table1},
 	{"table2", "PrIM benchmark datasets (paper Table II)", Table2},
@@ -86,7 +91,7 @@ var experiments = []Experiment{
 	{"fig11", "SIMT case study on GEMV", Fig11},
 	{"fig12", "ILP ablation (D/R/S/F)", Fig12},
 	{"fig13", "MRAM-to-WRAM bandwidth scaling", Fig13},
-	{"mmu", "case study 3: MMU translation overhead", MMUStudy},
+	{"mmu", "case study 3 (paper Fig 14; figures -exp fig14 works too): MMU translation overhead", MMUStudy},
 	{"fig15", "cache-centric vs scratchpad-centric performance", Fig15},
 	{"fig16", "DRAM bytes read and runtime: BS and UNI, cache vs scratchpad", Fig16},
 	{"table3", "simulator comparison (paper Table III)", Table3},
@@ -95,8 +100,12 @@ var experiments = []Experiment{
 // Experiments lists all registered experiments.
 func Experiments() []Experiment { return experiments }
 
-// ByID finds one experiment.
+// ByID finds one experiment by its canonical ID or a paper-numbering alias
+// (e.g. "fig14" resolves to the MMU case study).
 func ByID(id string) (Experiment, error) {
+	if canonical, ok := aliases[id]; ok {
+		id = canonical
+	}
 	for _, e := range experiments {
 		if e.ID == id {
 			return e, nil
@@ -477,7 +486,7 @@ func Fig13(ctx context.Context, o Options) (*Table, error) {
 
 // MMUStudy quantifies address-translation overhead (case study 3).
 func MMUStudy(ctx context.Context, o Options) (*Table, error) {
-	t := newTable("mmu", "Case study 3", "MMU overhead: 16-entry TLB, 4KB pages, demand paging", o,
+	t := newTable("mmu", "Figure 14 (case study 3)", "MMU overhead: 16-entry TLB, 4KB pages, demand paging", o,
 		cols("benchmark", "slowdown", "TLB hit rate", "walks", "faults")...)
 	var pts []engine.Point
 	for _, name := range o.names() {

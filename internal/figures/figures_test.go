@@ -2,6 +2,7 @@ package figures
 
 import (
 	"context"
+	"fmt"
 	"testing"
 
 	"upim/internal/prim"
@@ -126,4 +127,23 @@ func TestShapeInvariants(t *testing.T) {
 			t.Errorf("TS with D+R+S+F = %.2fx, want >= 2x (paper: avg 2.7x)", prev)
 		}
 	})
+}
+
+// TestPaperFigureNumberingComplete pins the 1:1 mapping between the paper's
+// figure numbers and the experiment registry: every figure 5..16 resolves,
+// with fig14 aliased onto the MMU case study.
+func TestPaperFigureNumberingComplete(t *testing.T) {
+	for i := 5; i <= 16; i++ {
+		id := fmt.Sprintf("fig%d", i)
+		e, err := ByID(id)
+		if err != nil {
+			t.Errorf("paper figure %s has no experiment: %v", id, err)
+		}
+		if i == 14 && e.ID != "mmu" {
+			t.Errorf("fig14 resolved to %q, want the mmu case study", e.ID)
+		}
+	}
+	if _, err := ByID("fig17"); err == nil {
+		t.Error("fig17 resolved but the paper has no such figure")
+	}
 }

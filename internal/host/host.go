@@ -12,6 +12,7 @@ package host
 import (
 	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -268,18 +269,37 @@ func (s *System) Launch(ctx context.Context) error {
 	close(work)
 	wg.Wait()
 
-	if err := ctx.Err(); err != nil {
-		return fmt.Errorf("host: launch %d: %w", s.report.Launches, err)
+	if err := launchError(s.report.Launches, ctx.Err(), errs); err != nil {
+		return err
 	}
 	var maxCycles uint64
 	for i, d := range s.dpus {
-		if errs[i] != nil {
-			return fmt.Errorf("host: launch %d: %w", s.report.Launches, errs[i])
-		}
 		maxCycles = max(maxCycles, d.Cycles()-before[i])
 	}
 	s.report.KernelSeconds += s.cfg.CyclesToSeconds(maxCycles)
 	s.report.Launches++
+	return nil
+}
+
+// launchError selects the error a finished launch reports. Real worker
+// failures (faults, watchdog expiries) win over plain cancellation — a DPU
+// fault that races a context cancellation must not be masked by it — and
+// are wrapped with the failing DPU's index for debuggability. Cancellation
+// is reported only when no worker failed for a more specific reason.
+func launchError(launch int, ctxErr error, errs []error) error {
+	for i, err := range errs {
+		if err != nil && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+			return fmt.Errorf("host: launch %d: dpu %d: %w", launch, i, err)
+		}
+	}
+	if ctxErr != nil {
+		return fmt.Errorf("host: launch %d: %w", launch, ctxErr)
+	}
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("host: launch %d: dpu %d: %w", launch, i, err)
+		}
+	}
 	return nil
 }
 

@@ -3,6 +3,7 @@ package host
 import (
 	"context"
 	"encoding/binary"
+	"errors"
 	"math"
 	"strings"
 	"testing"
@@ -192,5 +193,175 @@ func TestAggregateStats(t *testing.T) {
 	one := s.DPU(0).Stats().Instructions
 	if agg.Instructions != 4*one {
 		t.Fatalf("aggregate instructions = %d, want %d", agg.Instructions, 4*one)
+	}
+}
+
+// must is a tiny helper for transfer-script steps.
+func must(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTransferAccountingSequences drives multi-window transfer scripts —
+// distribution, exchange rounds between launches, retrieval — and asserts
+// every Report.TransferSeconds bucket against the model: within one flush
+// window transfers to distinct DPUs overlap (per-direction max), transfers
+// to the same DPU serialize, and SetPhase/Launch/Report close the window.
+func TestTransferAccountingSequences(t *testing.T) {
+	cfg := config.Default()
+	bwIn, bwOut := cfg.CPUToDPUBytesPerSec, cfg.DPUToCPUBytesPerSec
+	const MB = 1 << 20
+	sec := func(inBytes, outBytes float64) float64 { return inBytes/bwIn + outBytes/bwOut }
+
+	cases := []struct {
+		name     string
+		dpus     int
+		script   func(t *testing.T, s *System)
+		want     [3]float64 // indexed by PhaseInput, PhaseOutput, PhaseExchange
+		launches int
+	}{
+		{
+			name: "parallel distribution then single retrieval",
+			dpus: 4,
+			script: func(t *testing.T, s *System) {
+				payload := make([]byte, MB)
+				for i := 0; i < 4; i++ {
+					must(t, s.CopyToMRAM(i, 0, payload))
+				}
+				s.SetPhase(PhaseOutput)
+				_, err := s.ReadMRAM(0, 0, 2*MB)
+				must(t, err)
+			},
+			want: [3]float64{PhaseInput: sec(MB, 0), PhaseOutput: sec(0, 2*MB)},
+		},
+		{
+			name: "same-DPU transfers serialize within a window",
+			dpus: 2,
+			script: func(t *testing.T, s *System) {
+				payload := make([]byte, MB)
+				must(t, s.CopyToMRAM(0, 0, payload))
+				must(t, s.CopyToMRAM(0, MB, payload)) // same DPU: accumulates
+				must(t, s.CopyToMRAM(1, 0, payload))  // other DPU: overlapped
+				s.SetPhase(PhaseExchange)             // closes the window
+				must(t, s.CopyToMRAM(0, 0, payload))  // fresh window
+			},
+			want: [3]float64{PhaseInput: sec(2*MB, 0), PhaseExchange: sec(MB, 0)},
+		},
+		{
+			name: "bidirectional exchange window",
+			dpus: 2,
+			script: func(t *testing.T, s *System) {
+				s.SetPhase(PhaseExchange)
+				_, err := s.ReadMRAM(0, 0, 4096)
+				must(t, err)
+				must(t, s.CopyToMRAM(1, 0, make([]byte, 4096)))
+			},
+			want: [3]float64{PhaseExchange: sec(4096, 4096)},
+		},
+		{
+			name: "multi-launch with an exchange round",
+			dpus: 2,
+			script: func(t *testing.T, s *System) {
+				// Args are 2 words = 8 bytes of CPU->DPU traffic per DPU.
+				must(t, s.WriteArgs(0, 1000, MRAMBaseAddr(4096)))
+				must(t, s.WriteArgs(1, 1000, MRAMBaseAddr(4096)))
+				must(t, s.CopyToMRAM(0, 0, make([]byte, MB)))
+				must(t, s.Launch(context.Background())) // flushes input: max(MB+8, 8)
+				s.SetPhase(PhaseExchange)
+				_, err := s.ReadMRAM(0, 4096, 4096)
+				must(t, err)
+				must(t, s.WriteArgs(0, 2000, MRAMBaseAddr(8192)))
+				must(t, s.WriteArgs(1, 2000, MRAMBaseAddr(8192)))
+				must(t, s.CopyToMRAM(1, 0, make([]byte, 4096)))
+				must(t, s.Launch(context.Background())) // flushes exchange: in max(8, 4096+8), out 4096
+				s.SetPhase(PhaseOutput)
+				_, err = s.ReadMRAM(1, 8192, MB)
+				must(t, err)
+			},
+			want: [3]float64{
+				PhaseInput:    sec(MB+8, 0),
+				PhaseExchange: sec(4096+8, 4096),
+				PhaseOutput:   sec(0, MB),
+			},
+			launches: 2,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := newTestSystem(t, tc.dpus)
+			tc.script(t, s)
+			rep := s.Report()
+			for p := PhaseInput; p < numPhases; p++ {
+				got, want := rep.PhaseSeconds(p), tc.want[p]
+				if math.Abs(got-want) > want*1e-9 {
+					t.Errorf("%v seconds = %g, want %g", p, got, want)
+				}
+			}
+			if rep.Launches != tc.launches {
+				t.Errorf("launches = %d, want %d", rep.Launches, tc.launches)
+			}
+		})
+	}
+}
+
+func TestLaunchErrorSelection(t *testing.T) {
+	fault := errors.New("software fault 1")
+	// A real worker failure wins over a simultaneous cancellation and names
+	// its DPU.
+	err := launchError(7, context.Canceled, []error{context.Canceled, fault, context.Canceled})
+	if !errors.Is(err, fault) {
+		t.Fatalf("err = %v, want the worker fault", err)
+	}
+	if !strings.Contains(err.Error(), "dpu 1") || !strings.Contains(err.Error(), "launch 7") {
+		t.Fatalf("err = %v, want dpu index and launch number", err)
+	}
+	// Pure cancellation reports the context error without a bogus DPU index.
+	err = launchError(3, context.Canceled, []error{context.Canceled, nil})
+	if !errors.Is(err, context.Canceled) || strings.Contains(err.Error(), "dpu") {
+		t.Fatalf("err = %v, want plain cancellation", err)
+	}
+	// An uncancelled failing launch still names the failing DPU.
+	err = launchError(0, nil, []error{nil, nil, fault})
+	if !errors.Is(err, fault) || !strings.Contains(err.Error(), "dpu 2") {
+		t.Fatalf("err = %v, want dpu 2 fault", err)
+	}
+	if err := launchError(0, nil, make([]error, 3)); err != nil {
+		t.Fatalf("clean launch errored: %v", err)
+	}
+}
+
+func TestLaunchWrapsFailingDPUIndex(t *testing.T) {
+	// Only DPU 2 faults; the launch error must name it.
+	b := kbuild.New("fault-one")
+	r0 := kbuild.R(0)
+	b.Mov(r0, kbuild.DPUID)
+	b.Jnei(r0, 2, "ok")
+	b.Fault(r0, 1)
+	b.Label("ok")
+	b.Stop()
+	cfg := config.Default()
+	cfg.NumTasklets = 1
+	s, err := NewSystem(b.MustBuild(), cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = s.Launch(context.Background())
+	if err == nil || !strings.Contains(err.Error(), "dpu 2") || !strings.Contains(err.Error(), "software fault") {
+		t.Fatalf("err = %v, want a dpu-2 software fault", err)
+	}
+}
+
+func TestLaunchCancelledBeforeStart(t *testing.T) {
+	s := newTestSystem(t, 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := s.Launch(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if s.Report().Launches != 0 {
+		t.Fatal("cancelled launch was counted")
 	}
 }

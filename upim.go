@@ -22,6 +22,14 @@
 //	points := []upim.Point{{Benchmark: "VA", DPUs: 1}, {Benchmark: "VA", DPUs: 16}, ...}
 //	for sr := range r.Sweep(ctx, points) { ... }
 //
+// Design-space exploration — the paper's pathfinding methodology — layers
+// typed axes and a persistent content-addressed result store on top of the
+// sweep engine: build a DesignSpace from axes (AxisTasklets, AxisILP,
+// AxisLinkScale, ...), then Explore it. Finished points persist, so
+// interrupted or repeated explorations resume without re-simulating
+// anything; Exploration extracts Pareto time/cost frontiers and ranked best
+// configs as artifacts (cmd/pathfind is the CLI front end).
+//
 // Every run is cancellable through its context, including mid-kernel;
 // failures surface the typed errors ErrUnknownBenchmark, ErrUnsupportedMode,
 // ErrTooManyTasklets and ErrWatchdogExpired. RunExperimentContext
