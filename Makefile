@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race cover bench fmt vet report refdata pathfind-smoke
+.PHONY: build test race cover bench fmt vet report refdata pathfind-smoke energy-check
 
 build:
 	$(GO) build ./...
@@ -18,9 +18,15 @@ cover:
 # one store; the resumed run must be fully cached and byte-identical.
 pathfind-smoke:
 	rm -rf pfstore pfreport1 pfreport2
-	$(GO) run ./cmd/pathfind -bench VA,BS -axes "tasklets=1,4;link=1,2" -scale tiny -store pfstore -pareto -out pfreport1
-	$(GO) run ./cmd/pathfind -bench VA,BS -axes "tasklets=1,4;link=1,2" -scale tiny -store pfstore -pareto -out pfreport2
+	$(GO) run ./cmd/pathfind -bench VA,BS -axes "tasklets=1,4;link=1,2" -scale tiny -store pfstore -pareto -goals energy,cost -energy -out pfreport1
+	$(GO) run ./cmd/pathfind -bench VA,BS -axes "tasklets=1,4;link=1,2" -scale tiny -store pfstore -pareto -goals energy,cost -energy -out pfreport2
 	diff -r pfreport1 pfreport2
+
+# energy-check mirrors the CI job: regenerate the energy breakdown at tiny
+# scale, validate it against the committed reference at eps 1e-12, and leave
+# the browsable report under energy-report/.
+energy-check:
+	$(GO) run ./cmd/figures -exp energy -scale tiny -out energy-report -check -eps 1e-12
 
 # bench runs the figure benchmark suite and writes BENCH_3.json (ns/op plus
 # the headline figure metrics, machine-readable). Tune with BENCHTIME=1x for

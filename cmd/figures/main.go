@@ -47,6 +47,8 @@ func run() int {
 		check    = flag.Bool("check", false, "validate results against the committed reference artifacts")
 		eps      = flag.Float64("eps", 0, "relative tolerance for -check (0 = the 1% default)")
 		writeref = flag.String("writeref", "", "write reference JSON artifacts into this directory (maintainers only)")
+		profile  = flag.String("profile", "", "energy TechProfile JSON overriding the committed default (energy experiment)")
+		energyT  = flag.Bool("energy", false, "also run the energy experiment when -exp selects something else")
 		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprof  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -82,6 +84,21 @@ func run() int {
 	if *bench != "" {
 		opts.Benchmarks = strings.Split(*bench, ",")
 	}
+	if *profile != "" {
+		p, err := upim.LoadTechProfile(*profile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			return 2
+		}
+		opts.Profile = p
+		// Only the energy experiment reads the profile; a run that will never
+		// reach it would silently produce default-profile-independent tables
+		// the user believes were recalibrated.
+		if *exp != "all" && *exp != "energy" && !*energyT {
+			fmt.Fprintf(os.Stderr, "figures: -profile only affects the energy experiment; add -energy or -exp energy to use %s\n", p.Name)
+			return 2
+		}
+	}
 
 	var tables []*upim.ResultTable
 	runExp := func(id string) bool {
@@ -100,8 +117,13 @@ func run() int {
 				return 1
 			}
 		}
-	} else if !runExp(*exp) {
-		return 1
+	} else {
+		if !runExp(*exp) {
+			return 1
+		}
+		if *energyT && *exp != "energy" && !runExp("energy") {
+			return 1
+		}
 	}
 
 	if *out != "" {

@@ -2,7 +2,9 @@
 // pathfinding methodology as a tool. It sweeps typed design axes (tasklets,
 // DPUs, frequency, MRAM-link scale, the ILP feature ladder, memory-hierarchy
 // mode) over a set of benchmarks, runs every feasible point concurrently,
-// and extracts Pareto time/cost frontiers and ranked best configurations.
+// and extracts Pareto frontiers (-goals: any subset of time, kernel, cost,
+// energy, edp), ranked best configurations, and per-point energy breakdowns
+// (-energy, parameterized by a -profile TechProfile JSON).
 //
 // With -store, finished points persist in a content-addressed result store:
 // interrupt an exploration (Ctrl-C) and rerun the same command to resume
@@ -13,7 +15,7 @@
 // Usage:
 //
 //	pathfind -bench VA,BS -axes "tasklets=1,4,16;ilp=base,D,DRSF;link=1,2,4" \
-//	         -scale tiny -store ./pfstore -pareto -out ./report
+//	         -scale tiny -store ./pfstore -pareto -goals energy,cost -energy -out ./report
 //
 // Axis grammar: semicolon-separated "name=v1,v2,..." with axes tasklets,
 // dpus, freq (MHz), link (bandwidth multiplier), ilp (subsets of DRSF or
@@ -47,7 +49,10 @@ func run() int {
 		dpus     = flag.Int("dpus", 1, "base DPU count (a dpus axis overrides it)")
 		storeDir = flag.String("store", "", "persistent result store directory (enables resume; empty = no persistence)")
 		resume   = flag.Bool("resume", true, "serve previously finished points from the store; -resume=false re-simulates (and refreshes) every point")
-		pareto   = flag.Bool("pareto", false, "print the per-benchmark Pareto frontier (time vs hardware cost) and ranked best configs")
+		pareto   = flag.Bool("pareto", false, "print the per-benchmark Pareto frontier (see -goals) and ranked best configs")
+		goals    = flag.String("goals", "time,cost", "comma-separated Pareto objectives for -pareto: time, kernel, cost, energy, edp")
+		profile  = flag.String("profile", "", "energy TechProfile JSON overriding the committed default (used by the energy/edp goals and -energy)")
+		energyT  = flag.Bool("energy", false, "print the per-point energy breakdown table")
 		top      = flag.Int("top", 3, "designs per benchmark in the best-config ranking")
 		jobs     = flag.Int("jobs", 0, "concurrent simulation points (0 = GOMAXPROCS)")
 		out      = flag.String("out", "", "write a browsable report (CSV+JSON+Markdown+index.md) into this directory")
@@ -64,6 +69,44 @@ func run() int {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pathfind:", err)
 		return 2
+	}
+	var prof *upim.TechProfile // nil = the committed default profile
+	if *profile != "" {
+		if prof, err = upim.LoadTechProfile(*profile); err != nil {
+			fmt.Fprintln(os.Stderr, "pathfind:", err)
+			return 2
+		}
+	}
+	goalList, err := upim.ParseGoals(*goals, prof)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pathfind:", err)
+		return 2
+	}
+	// Goals are only evaluated by the -pareto frontier, so an explicit
+	// -goals without it would be silently ignored.
+	goalsSet := false
+	flag.Visit(func(f *flag.Flag) { goalsSet = goalsSet || f.Name == "goals" })
+	if goalsSet && !*pareto {
+		fmt.Fprintln(os.Stderr, "pathfind: -goals only affects the -pareto frontier; add -pareto to use it")
+		return 2
+	}
+	// Likewise a profile only matters to evaluated energy/edp goals and the
+	// -energy table; loading one that nothing reads would silently produce
+	// profile-independent reports the user believes were recalibrated.
+	// (The guard above means any energy/edp goal left in goalList is one
+	// -pareto will actually evaluate.)
+	if prof != nil && !*energyT {
+		usesProfile := false
+		for _, g := range goalList {
+			if g.UsesProfile {
+				usesProfile = true
+				break
+			}
+		}
+		if !usesProfile {
+			fmt.Fprintf(os.Stderr, "pathfind: -profile only affects the energy/edp goals under -pareto and the -energy table; add one of them to use %s\n", prof.Name)
+			return 2
+		}
 	}
 	benchmarks := upim.Benchmarks()
 	if *bench != "" {
@@ -126,7 +169,10 @@ func run() int {
 
 	tables := []*upim.ResultTable{x.SummaryTable()}
 	if *pareto {
-		tables = append(tables, x.ParetoTable(), x.BestTable(*top))
+		tables = append(tables, x.ParetoTable(goalList...), x.BestTable(*top))
+	}
+	if *energyT {
+		tables = append(tables, x.EnergyTable(prof))
 	}
 	for _, tab := range tables {
 		tab.Fprint(os.Stdout)

@@ -31,6 +31,8 @@ func run() int {
 		scale   = flag.String("scale", "tiny", "dataset scale: tiny, small or paper")
 		jobs    = flag.Int("jobs", 0, "concurrent simulation points (0 = GOMAXPROCS)")
 		out     = flag.String("out", "", "export the suite results as an artifact report into this directory")
+		energyF = flag.Bool("energy", false, "print per-benchmark energy, power and EDP (and add an energy breakdown table to -out)")
+		profile = flag.String("profile", "", "energy TechProfile JSON overriding the committed default")
 		cpuprof = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprof = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -52,6 +54,18 @@ func run() int {
 	if !ok {
 		fmt.Fprintf(os.Stderr, "prim: unknown scale %q\n", *scale)
 		return 1
+	}
+	var prof *upim.TechProfile // nil = the committed default profile
+	if *profile != "" {
+		if !*energyF {
+			fmt.Fprintln(os.Stderr, "prim: -profile only affects the -energy columns and table; add -energy to use it")
+			return 1
+		}
+		var err error
+		if prof, err = upim.LoadTechProfile(*profile); err != nil {
+			fmt.Fprintln(os.Stderr, "prim:", err)
+			return 1
+		}
 	}
 	opts := []upim.RunnerOption{
 		upim.WithTasklets(*threads),
@@ -82,8 +96,11 @@ func run() int {
 		done[sr.Index] = true
 	}
 
-	fmt.Printf("%-10s %12s %10s %8s %10s %12s\n",
-		"benchmark", "instructions", "cycles", "IPC", "DRAM MB", "verified")
+	fmt.Printf("%-10s %12s %10s %8s %10s", "benchmark", "instructions", "cycles", "IPC", "DRAM MB")
+	if *energyF {
+		fmt.Printf(" %10s %9s %12s", "energy uJ", "power mW", "EDP uJ*ms")
+	}
+	fmt.Printf(" %12s\n", "verified")
 	failed := 0
 	for i, name := range names {
 		switch {
@@ -95,9 +112,16 @@ func run() int {
 			failed++
 		default:
 			res := results[i].Result
-			fmt.Printf("%-10s %12d %10d %8.3f %10.2f %12s\n",
+			fmt.Printf("%-10s %12d %10d %8.3f %10.2f",
 				name, res.Stats.Instructions, res.Stats.Cycles, res.Stats.IPC(),
-				float64(res.Stats.DRAM.BytesRead)/1e6, "PASS")
+				float64(res.Stats.DRAM.BytesRead)/1e6)
+			if *energyF {
+				rep := upim.EnergyOf(res, prof)
+				total := res.Report.Total()
+				fmt.Printf(" %10.4g %9.4g %12.4g",
+					rep.MicroJoules(), rep.PowerWatts(total)*1e3, rep.EDPMicroJouleMS(total))
+			}
+			fmt.Printf(" %12s\n", "PASS")
 		}
 	}
 	if *out != "" {
@@ -110,7 +134,13 @@ func run() int {
 		tab := upim.SuiteTable(fmt.Sprintf("PrIM suite at scale %q, %d tasklets, %d DPUs", *scale, *threads, *dpus), suite)
 		tab.Key = "prim"
 		tab.Scale = *scale
-		if err := upim.WriteReport(*out, []*upim.ResultTable{tab}); err != nil {
+		tabs := []*upim.ResultTable{tab}
+		if *energyF {
+			etab := upim.EnergyTable(fmt.Sprintf("PrIM suite energy at scale %q", *scale), suite, prof)
+			etab.Scale = *scale
+			tabs = append(tabs, etab)
+		}
+		if err := upim.WriteReport(*out, tabs); err != nil {
 			fmt.Fprintln(os.Stderr, "prim:", err)
 			return 1
 		}

@@ -64,6 +64,46 @@ func TestSimulationDeterministicAcrossParallelism(t *testing.T) {
 	comparePointCounters(t, serial, parallel, "parallelism 8")
 }
 
+// sweepEnergy runs the point set and returns each point's energy report
+// under the default TechProfile.
+func sweepEnergy(t *testing.T, parallelism int) []upim.EnergyReport {
+	t.Helper()
+	r, err := upim.NewRunner(
+		upim.WithScale(upim.ScaleTiny),
+		upim.WithTasklets(16),
+		upim.WithParallelism(parallelism),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]upim.EnergyReport, len(determinismPoints))
+	for sr := range r.Sweep(context.Background(), determinismPoints) {
+		if sr.Err != nil {
+			t.Fatalf("point %d: %v", sr.Index, sr.Err)
+		}
+		out[sr.Index] = upim.EnergyOf(sr.Result, nil)
+	}
+	return out
+}
+
+// TestEnergyDeterministicAcrossParallelism: the energy model is a pure
+// function of the counters, so energy must be bit-identical between serial
+// and concurrent sweeps — the property the energy-aware Pareto goals and
+// the store's resume contract stand on.
+func TestEnergyDeterministicAcrossParallelism(t *testing.T) {
+	serial := sweepEnergy(t, 1)
+	parallel := sweepEnergy(t, 8)
+	for p := range serial {
+		if serial[p] != parallel[p] {
+			t.Errorf("point %s: energy differs across parallelism:\n  serial   %+v\n  parallel %+v",
+				determinismPoints[p].Benchmark, serial[p], parallel[p])
+		}
+		if serial[p].TotalPJ() <= 0 {
+			t.Errorf("point %s: non-positive energy", determinismPoints[p].Benchmark)
+		}
+	}
+}
+
 func comparePointCounters(t *testing.T, want, got [][]float64, label string) {
 	t.Helper()
 	names := upimCounterNames(t)

@@ -108,7 +108,24 @@ var (
 	GoalKernelTime = explore.GoalKernelTime
 	// GoalCost is the summed hardware cost of the point's axis levels.
 	GoalCost = explore.GoalCost
+	// GoalEnergy is modeled total energy in µJ under a TechProfile (nil =
+	// the committed default).
+	GoalEnergy = explore.GoalEnergy
+	// GoalEDP is the energy-delay product in µJ·ms under a TechProfile.
+	GoalEDP = explore.GoalEDP
 )
+
+// ParseGoals parses a comma-separated goal spec ("time,cost",
+// "energy,cost", "edp") into Pareto objectives; energy and edp compute
+// under profile p (nil = the committed default). Errors name the valid
+// goals.
+func ParseGoals(spec string, p *TechProfile) ([]ExploreGoal, error) {
+	return explore.ParseGoals(spec, p)
+}
+
+// FormatAxes renders axes back into the ParseAxes grammar (a true inverse
+// for the built-in axes).
+func FormatAxes(axes []DesignAxis) string { return explore.FormatAxes(axes) }
 
 // ParetoFront returns the non-dominated outcomes under the goals (default:
 // total time vs hardware cost). Group by benchmark before calling —

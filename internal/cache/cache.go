@@ -98,6 +98,7 @@ func (c *Cache) reapMSHR(now Tick) {
 // WriteAllocate disabled, store misses post through a write buffer without
 // stalling or allocating.
 func (c *Cache) Access(addr uint32, write bool, now Tick) Tick {
+	c.st.Accesses++ // one tag/data array lookup per access, whatever the outcome
 	c.reapMSHR(now)
 	lineAddr, set := c.index(addr)
 	ways := c.sets[set]

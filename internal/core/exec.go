@@ -10,10 +10,13 @@ import (
 )
 
 // read returns a register operand's value; special registers materialize
-// their architectural meaning.
+// their architectural meaning. GPR reads are counted as register-file events
+// (immediates and special registers never touch the RF array), which is what
+// the energy model's RF component integrates.
 func (d *DPU) read(t *thread, r isa.RegID) uint32 {
 	switch {
 	case r.IsGPR():
+		d.st.RFReads++
 		return t.regs[r]
 	case r == isa.Zero:
 		return 0
@@ -31,6 +34,7 @@ func (d *DPU) read(t *thread, r isa.RegID) uint32 {
 func (d *DPU) write(t *thread, r isa.RegID, v uint32) {
 	if r.IsGPR() {
 		t.regs[r] = v
+		d.st.RFWrites++
 	}
 }
 
@@ -161,9 +165,9 @@ func (d *DPU) execute(t *thread) {
 
 	switch u.kind {
 	case uopALU:
-		b := d.read(t, u.rb)
-		if u.useImm() {
-			b = uint32(u.imm)
+		b := uint32(u.imm)
+		if !u.useImm() {
+			b = d.read(t, u.rb)
 		}
 		result := aluOp(u.op, d.read(t, u.ra), b)
 		writeDst(u.rd, result)
@@ -188,9 +192,9 @@ func (d *DPU) execute(t *thread) {
 		d.execDMA(t, u)
 
 	case uopJcc:
-		b := d.read(t, u.rb)
-		if u.useImm() {
-			b = uint32(u.imm)
+		b := uint32(u.imm)
+		if !u.useImm() {
+			b = d.read(t, u.rb)
 		}
 		if jccTaken(u.op, d.read(t, u.ra), b) {
 			nextPC = u.target

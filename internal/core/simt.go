@@ -241,9 +241,9 @@ func (d *DPU) executeVector(w *warp, pc uint16, active []*thread) {
 		nextPC := pc + 1
 		switch u.kind {
 		case uopALU:
-			b := d.read(t, u.rb)
-			if u.useImm() {
-				b = uint32(u.imm)
+			b := uint32(u.imm)
+			if !u.useImm() {
+				b = d.read(t, u.rb)
 			}
 			result := aluOp(u.op, d.read(t, u.ra), b)
 			d.write(t, u.rd, result)
@@ -259,9 +259,9 @@ func (d *DPU) executeVector(w *warp, pc uint16, active []*thread) {
 		case uopMOVI:
 			d.write(t, u.rd, uint32(u.imm))
 		case uopJcc:
-			b := d.read(t, u.rb)
-			if u.useImm() {
-				b = uint32(u.imm)
+			b := uint32(u.imm)
+			if !u.useImm() {
+				b = d.read(t, u.rb)
 			}
 			if jccTaken(u.op, d.read(t, u.ra), b) {
 				nextPC = u.target

@@ -1,0 +1,71 @@
+package explore_test
+
+import (
+	"strings"
+	"testing"
+
+	"upim/internal/explore"
+)
+
+// FuzzParseAxes feeds arbitrary axis specifications through the CLI parser,
+// mirroring the PR-4 assembler fuzz target: ParseAxes must never panic — it
+// either rejects the spec with an error or produces axes that survive a
+// parse → format → parse round trip with identical structure (names, level
+// labels and hardware costs). The round trip is what keeps FormatAxes an
+// honest inverse as new axes get added.
+func FuzzParseAxes(f *testing.F) {
+	seeds := []string{
+		"tasklets=1,4,16;ilp=base,D,DRSF;link=1,2,4",
+		"tasklets=1,4;link=1,2",
+		"dpus=1,16,64;freq=175,350,700",
+		"mode=scratchpad,cache,simt",
+		"ilp=base,D,DR,DRS,DRSF",
+		// Malformed shapes: empty axes, missing values, separators only
+		// (the family that crashed the assembler before PR 4).
+		"", ";", ";;;", "=", "name=", "=1,2", "tasklets", "tasklets=",
+		"tasklets=,", "tasklets=0", "tasklets=-1", "tasklets=1,,4",
+		"freq=13", "link=x2", "ilp=DD", "ilp=Q", "mode=vector",
+		"tasklets=1;tasklets=2", " tasklets = 1 , 4 ; link = 2 ",
+		"tasklets=99999999999999999999", "ilp=base;;link=1",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		axes, err := explore.ParseAxes(spec)
+		if err != nil {
+			return // rejected inputs just need to not panic
+		}
+		formatted := explore.FormatAxes(axes)
+		again, err := explore.ParseAxes(formatted)
+		if err != nil {
+			t.Fatalf("round trip rejected %q (formatted from %q): %v", formatted, spec, err)
+		}
+		if len(again) != len(axes) {
+			t.Fatalf("round trip changed axis count: %d vs %d (%q -> %q)", len(axes), len(again), spec, formatted)
+		}
+		for i := range axes {
+			if axes[i].Name != again[i].Name {
+				t.Fatalf("axis %d name %q became %q", i, axes[i].Name, again[i].Name)
+			}
+			if len(axes[i].Levels) != len(again[i].Levels) {
+				t.Fatalf("axis %q level count %d became %d", axes[i].Name, len(axes[i].Levels), len(again[i].Levels))
+			}
+			for j := range axes[i].Levels {
+				a, b := axes[i].Levels[j], again[i].Levels[j]
+				if a.Label != b.Label || a.Cost != b.Cost {
+					t.Fatalf("axis %q level %d: (%q, %v) became (%q, %v) via %q",
+						axes[i].Name, j, a.Label, a.Cost, b.Label, b.Cost, formatted)
+				}
+			}
+		}
+		// Formatting is idempotent once canonical.
+		if f2 := explore.FormatAxes(again); f2 != formatted {
+			t.Fatalf("format not stable: %q vs %q", formatted, f2)
+		}
+		// A canonical spec never smuggles structure through whitespace.
+		if strings.ContainsAny(formatted, " \t\n") {
+			t.Fatalf("formatted spec contains whitespace: %q", formatted)
+		}
+	})
+}

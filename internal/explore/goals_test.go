@@ -1,0 +1,97 @@
+package explore
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"upim/internal/energy"
+	"upim/internal/prim"
+)
+
+func TestParseGoals(t *testing.T) {
+	goals, err := ParseGoals("time, ENERGY,edp", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(goals) != 3 || goals[0].Name != "total time" || goals[1].Name != "energy" || goals[2].Name != "EDP" {
+		t.Fatalf("goals = %+v", goals)
+	}
+	if goals[1].Unit != "uJ" || goals[2].Unit != "uJ*ms" {
+		t.Fatalf("energy goal units wrong: %q, %q", goals[1].Unit, goals[2].Unit)
+	}
+	// Exactly the energy goals consume a TechProfile — the marker CLIs use
+	// to reject a -profile nothing will read.
+	if goals[0].UsesProfile || !goals[1].UsesProfile || !goals[2].UsesProfile {
+		t.Fatalf("UsesProfile markers wrong: %+v", goals)
+	}
+}
+
+func TestParseGoalsErrors(t *testing.T) {
+	for spec, want := range map[string]string{
+		"speed":       "unknown goal",
+		"":            "empty goal",
+		" , ":         "empty goal",
+		"time,time":   "repeated",
+		"energy,watt": "unknown goal",
+	} {
+		_, err := ParseGoals(spec, nil)
+		if err == nil || !strings.Contains(err.Error(), want) {
+			t.Errorf("ParseGoals(%q) error = %v, want mention of %q", spec, err, want)
+		}
+		// Unknown-goal and empty-spec errors must teach the vocabulary.
+		if err != nil && want != "repeated" && !strings.Contains(err.Error(), "time, kernel, cost, energy, edp") {
+			t.Errorf("ParseGoals(%q) error does not list valid goals: %v", spec, err)
+		}
+	}
+}
+
+// TestEnergyGoalsOnExploration runs a 2-point exploration and checks the
+// energy goals and the energy table against the model computed directly
+// from the results.
+func TestEnergyGoalsOnExploration(t *testing.T) {
+	s := NewSpace([]string{"VA"}, Tasklets(1, 4))
+	s.Scale = prim.ScaleTiny
+	x, err := New(Options{Parallelism: 2}).Explore(context.Background(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gE, gEDP := GoalEnergy(nil), GoalEDP(nil)
+	for _, o := range x.Outcomes {
+		rep := o.Result.Energy(nil)
+		if got, want := gE.Value(o), rep.MicroJoules(); got != want {
+			t.Errorf("%s: energy goal %v, model %v", o.Point.Design, got, want)
+		}
+		if want := rep.EDPMicroJouleMS(o.Result.Report.Total()); gEDP.Value(o) != want {
+			t.Errorf("%s: EDP goal %v, want %v", o.Point.Design, gEDP.Value(o), want)
+		}
+		if gE.Value(o) <= 0 {
+			t.Errorf("%s: non-positive energy", o.Point.Design)
+		}
+	}
+
+	front := Pareto(x.Outcomes, GoalEnergy(nil), GoalCost())
+	if len(front) == 0 {
+		t.Fatal("empty energy/cost frontier")
+	}
+
+	et := x.EnergyTable(nil)
+	if len(et.Rows) != len(x.Outcomes) {
+		t.Fatalf("energy table has %d rows for %d outcomes", len(et.Rows), len(x.Outcomes))
+	}
+	wantCols := 2 + len(energy.BreakdownColumns())
+	if len(et.Columns) != wantCols || len(et.Rows[0]) != wantCols {
+		t.Fatalf("energy table shape %dx%d, want width %d", len(et.Rows[0]), len(et.Columns), wantCols)
+	}
+}
+
+func TestFormatAxesInverse(t *testing.T) {
+	spec := "tasklets=1,4,16;dpus=1,4;freq=175,350;link=1,2,4;ilp=base,D,DRSF;mode=scratchpad,cache"
+	axes, err := ParseAxes(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := FormatAxes(axes); got != spec {
+		t.Fatalf("FormatAxes = %q, want the canonical input %q", got, spec)
+	}
+}

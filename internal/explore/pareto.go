@@ -1,11 +1,17 @@
 package explore
 
+import "upim/internal/energy"
+
 // Goal is one Pareto objective extracted from a successful outcome. Lower
 // values are better for every goal (maximization goals negate).
 type Goal struct {
 	Name string
 	// Unit annotates artifact columns ("ms", "" for unitless).
 	Unit string
+	// UsesProfile marks goals whose values depend on an energy TechProfile
+	// (energy, EDP) — CLIs use it to reject a -profile nothing will read
+	// without string-matching goal names.
+	UsesProfile bool
 	// Value extracts the objective from an outcome with a non-nil Result,
 	// expressed in Unit units — artifact tables render it as-is.
 	Value func(Outcome) float64
@@ -41,6 +47,34 @@ func GoalCost() Goal {
 	return Goal{
 		Name:  "cost",
 		Value: func(o Outcome) float64 { return o.Point.Cost },
+	}
+}
+
+// GoalEnergy is the modeled end-to-end energy of a point in microjoules
+// (per-DPU kernel events plus host transfers) under profile p, nil selecting
+// the committed default — the paper's "efficiency, not just time" axis.
+func GoalEnergy(p *energy.TechProfile) Goal {
+	p = energy.ResolveProfile(p)
+	return Goal{
+		Name:        "energy",
+		Unit:        "uJ",
+		UsesProfile: true,
+		Value:       func(o Outcome) float64 { return o.Result.Energy(p).MicroJoules() },
+	}
+}
+
+// GoalEDP is the energy-delay product of a point in µJ·ms (total energy
+// times total modeled time) under profile p — the balanced goal for designs
+// that must be both fast and efficient.
+func GoalEDP(p *energy.TechProfile) Goal {
+	p = energy.ResolveProfile(p)
+	return Goal{
+		Name:        "EDP",
+		Unit:        "uJ*ms",
+		UsesProfile: true,
+		Value: func(o Outcome) float64 {
+			return o.Result.Energy(p).EDPMicroJouleMS(o.Result.Report.Total())
+		},
 	}
 }
 

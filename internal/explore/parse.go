@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"upim/internal/config"
+	"upim/internal/energy"
 )
 
 // ParseAxes parses a CLI axis specification into typed axes. The grammar is
@@ -100,4 +101,69 @@ func buildAxis(name string, values []string) (Axis, error) {
 	default:
 		return Axis{}, fmt.Errorf("explore: unknown axis %q (want tasklets, dpus, freq, link, ilp or mode)", name)
 	}
+}
+
+// FormatAxes renders axes back into the ParseAxes grammar. For the built-in
+// axes this is a true inverse: ParseAxes(FormatAxes(axes)) reconstructs the
+// same names, level labels and costs — the round-trip property FuzzParseAxes
+// pins down. Custom axes format on a best-effort basis (their labels may not
+// re-parse).
+func FormatAxes(axes []Axis) string {
+	parts := make([]string, len(axes))
+	for i, a := range axes {
+		vals := make([]string, len(a.Levels))
+		for j, l := range a.Levels {
+			v := l.Label
+			// LinkScale displays "x4" for the spec value "4".
+			if a.Name == "link" {
+				v = strings.TrimPrefix(v, "x")
+			}
+			vals[j] = v
+		}
+		parts[i] = a.Name + "=" + strings.Join(vals, ",")
+	}
+	return strings.Join(parts, ";")
+}
+
+// goalNamesList is the -goals vocabulary in display order.
+const goalNamesList = "time, kernel, cost, energy, edp"
+
+// ParseGoals parses a comma-separated CLI goal specification — e.g.
+// "time,cost" or "energy,cost" — into Pareto objectives. Known goals: time
+// (end-to-end ms), kernel (kernel-only ms), cost (unitless hardware cost),
+// energy (total µJ) and edp (energy-delay product, µJ·ms); energy and edp
+// are computed under profile p (nil = the committed default). Errors name
+// the full valid vocabulary. Duplicate goals are rejected — a repeated
+// objective never changes a frontier.
+func ParseGoals(spec string, p *energy.TechProfile) ([]Goal, error) {
+	var goals []Goal
+	seen := map[string]bool{}
+	for _, part := range strings.Split(spec, ",") {
+		name := strings.ToLower(strings.TrimSpace(part))
+		if name == "" {
+			continue
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("explore: goal %q repeated (a duplicate objective never changes a frontier)", name)
+		}
+		seen[name] = true
+		switch name {
+		case "time":
+			goals = append(goals, GoalTime())
+		case "kernel":
+			goals = append(goals, GoalKernelTime())
+		case "cost":
+			goals = append(goals, GoalCost())
+		case "energy":
+			goals = append(goals, GoalEnergy(p))
+		case "edp":
+			goals = append(goals, GoalEDP(p))
+		default:
+			return nil, fmt.Errorf("explore: unknown goal %q (want a comma-separated subset of: %s)", name, goalNamesList)
+		}
+	}
+	if len(goals) == 0 {
+		return nil, fmt.Errorf("explore: empty goal specification (want a comma-separated subset of: %s)", goalNamesList)
+	}
+	return goals, nil
 }

@@ -21,10 +21,18 @@ func resumeSpace() *Space {
 	return s
 }
 
-// writeArtifacts renders the exploration's three artifact tables into dir.
+// writeArtifacts renders the exploration's artifact tables into dir,
+// including the energy-aware ones: the energy/cost Pareto frontier (the
+// `pathfind -goals energy,cost` acceptance path) and the per-point energy
+// breakdown. Energy is a pure function of the stored results, so it is held
+// to the same byte-identical resume contract as the timing tables.
 func writeArtifacts(t *testing.T, x *Exploration, dir string) {
 	t.Helper()
-	tables := []*artifact.Table{x.SummaryTable(), x.ParetoTable(), x.BestTable(3)}
+	energyPareto := x.ParetoTable(GoalEnergy(nil), GoalCost())
+	energyPareto.Key = "pathfind-pareto-energy"
+	tables := []*artifact.Table{
+		x.SummaryTable(), x.ParetoTable(), energyPareto, x.BestTable(3), x.EnergyTable(nil),
+	}
 	if err := artifact.WriteReport(dir, tables); err != nil {
 		t.Fatal(err)
 	}

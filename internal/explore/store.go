@@ -20,7 +20,11 @@ import (
 // previously stored results (a new stats counter, a timing-model fix, ...).
 // Entries from other formats are never returned, so stale stores degrade to
 // re-simulation instead of serving wrong numbers.
-const storeFormat = 1
+//
+// Format history: 2 added the energy-model event counters (rf_reads,
+// rf_writes, cache array accesses) and Result.Config, which the energy
+// goals integrate — format-1 results would yield zero energy.
+const storeFormat = 2
 
 // KeyOf returns the content address of a simulation point: a SHA-256 over
 // the store format version and the point's canonical JSON — benchmark,

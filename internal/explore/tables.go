@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"upim/internal/artifact"
+	"upim/internal/energy"
 )
 
 // Artifact tables. Every table is a pure, deterministic function of the
@@ -136,6 +137,27 @@ func (x *Exploration) BestTable(k int) *artifact.Table {
 				artifact.Num(o.Point.Cost), artifact.Num(total*1e3), artifact.Num(base/total),
 			)
 		}
+	}
+	return t
+}
+
+// EnergyTable renders every successful point's per-component energy
+// breakdown (µJ per component, total, average power, EDP) under profile p
+// (nil = the committed default) in point order — the explorer's view of the
+// energy model, shaped like the figures "energy" experiment. Failed or
+// skipped points are omitted: they have no counters to integrate.
+func (x *Exploration) EnergyTable(p *energy.TechProfile) *artifact.Table {
+	p = energy.ResolveProfile(p)
+	t := x.newTable("pathfind-energy", "Pathfinding (energy)", "per-point energy breakdown under profile "+p.Name)
+	t.Columns = append(t.Columns, artifact.Column{Name: "benchmark"}, artifact.Column{Name: "design"})
+	t.Columns = append(t.Columns, energy.BreakdownColumns()...)
+	for _, o := range x.Outcomes {
+		if o.Result == nil || o.Err != nil {
+			continue
+		}
+		row := []artifact.Value{artifact.Str(o.Point.Benchmark), artifact.Str(o.Point.Design)}
+		row = append(row, energy.BreakdownRow(o.Result.Energy(p), o.Result.Report.Total())...)
+		t.AddRow(row...)
 	}
 	return t
 }

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"upim/internal/artifact"
+	"upim/internal/energy"
 	"upim/internal/figures/refdata"
 	"upim/internal/prim"
 )
@@ -33,6 +34,31 @@ func TestCheckAgainstReference(t *testing.T) {
 	}
 	if Check(tab, 0.5) != nil {
 		t.Error("a generous epsilon must absorb the perturbation")
+	}
+}
+
+// TestEnergyGoldenEps1e12 regenerates the energy experiment at tiny scale
+// and validates it against its committed reference at 1e-12 relative — the
+// energy model is a pure function of deterministic counters, so it is held
+// to the same exactness bar as the timing refdata.
+func TestEnergyGoldenEps1e12(t *testing.T) {
+	tab, err := EnergyExperiment(context.Background(), Options{Scale: prim.ScaleTiny})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Check(tab, 1e-12); err != nil {
+		t.Fatalf("energy table deviates from its reference at eps 1e-12: %v", err)
+	}
+	// A profile override must shift the table and fail the default-profile
+	// reference — proving -check catches profile drift, not just code drift.
+	p := energy.Default()
+	p.LeakageMW *= 2
+	shifted, err := EnergyExperiment(context.Background(), Options{Scale: prim.ScaleTiny, Profile: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Check(shifted, 1e-12); err == nil {
+		t.Fatal("doubled leakage must not match the default-profile reference")
 	}
 }
 

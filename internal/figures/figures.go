@@ -19,6 +19,7 @@ import (
 
 	"upim/internal/artifact"
 	"upim/internal/config"
+	"upim/internal/energy"
 	"upim/internal/engine"
 	"upim/internal/isa"
 	"upim/internal/prim"
@@ -37,6 +38,9 @@ type Options struct {
 	Benchmarks []string
 	// Parallelism bounds the sweep worker pool (<= 0 selects GOMAXPROCS).
 	Parallelism int
+	// Profile selects the energy model's TechProfile (nil = the committed
+	// default); only the "energy" experiment reads it.
+	Profile *energy.TechProfile
 }
 
 func (o Options) names() []string {
@@ -95,6 +99,7 @@ var experiments = []Experiment{
 	{"fig15", "cache-centric vs scratchpad-centric performance", Fig15},
 	{"fig16", "DRAM bytes read and runtime: BS and UNI, cache vs scratchpad", Fig16},
 	{"table3", "simulator comparison (paper Table III)", Table3},
+	{"energy", "event-level energy breakdown per benchmark (internal/energy)", EnergyExperiment},
 }
 
 // Experiments lists all registered experiments.

@@ -18,6 +18,7 @@ import (
 	"sort"
 
 	"upim/internal/config"
+	"upim/internal/energy"
 	"upim/internal/host"
 	"upim/internal/linker"
 	"upim/internal/stats"
@@ -133,9 +134,23 @@ type Result struct {
 	Mode      config.Mode
 	Tasklets  int
 	DPUs      int
-	Report    host.Report
-	Stats     stats.DPU
-	PerDPU    []stats.DPU
+	// Config is the full hardware configuration the point ran under — the
+	// provenance energy and downstream models need (frequency for leakage
+	// integration, mode for traffic routing).
+	Config config.Config
+	Report host.Report
+	Stats  stats.DPU
+	PerDPU []stats.DPU
+}
+
+// Energy computes the run's event-level energy under profile p (nil selects
+// the committed default): per-DPU kernel event energy — so each DPU's
+// leakage integrates its own cycles — plus host-channel transfer energy.
+// Energy is a pure function of the result record, so results loaded back
+// from a pathfinding store yield bit-identical reports to the run that
+// produced them.
+func (r *Result) Energy(p *energy.TechProfile) energy.Report {
+	return energy.OfRun(p, r.Config, r.PerDPU, r.Report.BytesIn, r.Report.BytesOut)
 }
 
 // Spec is one fully-specified simulation point.
@@ -205,6 +220,7 @@ func RunSpec(ctx context.Context, sp Spec) (*Result, error) {
 		Mode:      cfg.Mode,
 		Tasklets:  cfg.NumTasklets,
 		DPUs:      sp.DPUs,
+		Config:    cfg,
 		Report:    sys.Report(),
 		Stats:     sys.AggregateStats(),
 	}

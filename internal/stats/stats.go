@@ -93,6 +93,10 @@ type Cache struct {
 	MSHRMerges uint64 // misses coalesced onto an in-flight fill
 	Evictions  uint64
 	Writebacks uint64 // dirty lines written back
+	// Accesses counts tag/data array lookups (one per Access call, whatever
+	// the outcome) — the event the energy model charges cache array energy
+	// per.
+	Accesses uint64
 }
 
 // HitRate returns hits / (hits + misses); MSHR merges count as hits for rate
@@ -149,6 +153,13 @@ type DPU struct {
 	ICache Cache
 	DCache Cache
 	MMU    MMU
+
+	// RFReads/RFWrites count architectural general-purpose register-file
+	// accesses: one read per GPR operand actually read at issue (immediates
+	// and special registers do not touch the RF) and one write per GPR
+	// result written. They feed the energy model's register-file component.
+	RFReads  uint64
+	RFWrites uint64
 
 	WRAMReads           uint64
 	WRAMWrites          uint64
@@ -289,6 +300,8 @@ func (s *DPU) Add(o *DPU) {
 	s.MMU.TLBMisses += o.MMU.TLBMisses
 	s.MMU.TableWalks += o.MMU.TableWalks
 	s.MMU.PageFaults += o.MMU.PageFaults
+	s.RFReads += o.RFReads
+	s.RFWrites += o.RFWrites
 	s.WRAMReads += o.WRAMReads
 	s.WRAMWrites += o.WRAMWrites
 	s.DMAs += o.DMAs
@@ -305,6 +318,7 @@ func addCache(dst, src *Cache) {
 	dst.MSHRMerges += src.MSHRMerges
 	dst.Evictions += src.Evictions
 	dst.Writebacks += src.Writebacks
+	dst.Accesses += src.Accesses
 }
 
 // Counter is one named metric of a statistics record.
@@ -357,6 +371,12 @@ func (s *DPU) Counters() []Counter {
 		{"acquire_fail", float64(s.AcquireFail)},
 		{"coalesced_requests", float64(s.CoalescedRequests)},
 		{"uncoalesced_requests", float64(s.UncoalescedRequests)},
+		// Energy-model event counters (appended in PR 5; order above is frozen).
+		{"rf_reads", float64(s.RFReads)},
+		{"rf_writes", float64(s.RFWrites)},
+		{"icache_accesses", float64(s.ICache.Accesses)},
+		{"dcache_accesses", float64(s.DCache.Accesses)},
+		{"dram_activations", float64(s.DRAM.Activations())},
 	}
 }
 

@@ -27,8 +27,15 @@
 // sweep engine: build a DesignSpace from axes (AxisTasklets, AxisILP,
 // AxisLinkScale, ...), then Explore it. Finished points persist, so
 // interrupted or repeated explorations resume without re-simulating
-// anything; Exploration extracts Pareto time/cost frontiers and ranked best
-// configs as artifacts (cmd/pathfind is the CLI front end).
+// anything; Exploration extracts Pareto frontiers over configurable goals —
+// time, hardware cost, energy, energy-delay product (ParseGoals) — plus
+// ranked best configs and per-point energy breakdowns as artifacts
+// (cmd/pathfind is the CLI front end).
+//
+// Energy and power come from an event-level model (EnergyOf, EnergyReport):
+// every joule is a deterministic, linear function of a run's event counters
+// under a JSON-loadable TechProfile (DefaultTechProfile, LoadTechProfile),
+// so energy is bit-identical across sweep parallelism and store resumes.
 //
 // Every run is cancellable through its context, including mid-kernel;
 // failures surface the typed errors ErrUnknownBenchmark, ErrUnsupportedMode,

@@ -73,8 +73,9 @@ func TestFacadeRunBenchmark(t *testing.T) {
 }
 
 func TestFacadeExperiments(t *testing.T) {
-	if len(upim.Experiments()) != 16 {
-		t.Fatalf("expected 16 experiments, got %d", len(upim.Experiments()))
+	// 16 paper tables/figures plus the PR-5 energy experiment.
+	if len(upim.Experiments()) != 17 {
+		t.Fatalf("expected 17 experiments, got %d", len(upim.Experiments()))
 	}
 	tab, err := upim.RunExperiment("table1", upim.ExperimentOptions{})
 	if err != nil {
