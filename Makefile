@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race cover bench fmt vet report refdata pathfind-smoke energy-check
+.PHONY: build test race cover bench fmt vet report refdata pathfind-smoke energy-check calibration-check
 
 build:
 	$(GO) build ./...
@@ -28,7 +28,15 @@ pathfind-smoke:
 energy-check:
 	$(GO) run ./cmd/figures -exp energy -scale tiny -out energy-report -check -eps 1e-12
 
-# bench runs the figure benchmark suite and writes BENCH_3.json (ns/op plus
+# calibration-check mirrors the CI job: refit the analytical estimator's
+# calibration from scratch against the cycle-exact simulator and verify the
+# committed artifact (internal/estimate/calibration/default.json) is
+# byte-identical to the refit and that every measured per-figure relative
+# error stays within its committed bound.
+calibration-check:
+	$(GO) run ./cmd/pathfind calibrate -check
+
+# bench runs the figure benchmark suite and writes BENCH_6.json (ns/op plus
 # the headline figure metrics, machine-readable). Tune with BENCHTIME=1x for
 # a smoke run or BENCH=Fig12 for a subset.
 bench:

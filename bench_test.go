@@ -178,6 +178,46 @@ func BenchmarkFig16_BytesRead(b *testing.B) {
 // BenchmarkTable3_Comparison regenerates the simulator-comparison table.
 func BenchmarkTable3_Comparison(b *testing.B) { runExp(b, "table3") }
 
+// BenchmarkEstimateThroughput measures tier-A analytical estimation speed:
+// how fast the calibrated estimator triages design points, in points per
+// second. One iteration estimates every feasible point of the 5-axis
+// acceptance space (the same shape `pathfind -tier2` triages before
+// simulating the Pareto band), so the metric is directly the tier-A side of
+// the two-tier split: points/s here vs KIPS below.
+func BenchmarkEstimateThroughput(b *testing.B) {
+	space := upim.NewDesignSpace([]string{"VA"},
+		upim.AxisTasklets(1, 4, 16),
+		upim.AxisFrequencyMHz(350, 700),
+		upim.AxisLinkScale(1, 2, 4),
+		upim.AxisILP("base", "D", "DRSF"),
+		upim.AxisModes(upim.ModeScratchpad, upim.ModeCache),
+	)
+	space.Scale = upim.ScaleTiny
+	points, err := space.Points()
+	if err != nil {
+		b.Fatal(err)
+	}
+	est, err := upim.NewEstimator(nil, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	start := time.Now()
+	estimated := 0
+	for i := 0; i < b.N; i++ {
+		for _, p := range points {
+			if _, err := upim.EstimateDesignPoint(est, p); err != nil {
+				b.Fatal(err)
+			}
+			estimated++
+		}
+	}
+	elapsed := time.Since(start).Seconds()
+	b.ReportMetric(float64(len(points)), "points")
+	if elapsed > 0 {
+		b.ReportMetric(float64(estimated)/elapsed, "est-points/s")
+	}
+}
+
 // BenchmarkSimulationRate measures the simulator's own speed in
 // kilo-instructions per second (the paper reports ~3 KIPS for uPIMulator;
 // Table III's last row).

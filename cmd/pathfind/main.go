@@ -12,10 +12,25 @@
 // are never simulated again, even across different explorations that merely
 // share points.
 //
+// With -tier2, the exploration runs in two fidelity tiers: a calibrated
+// analytical estimator (internal/estimate) predicts every feasible point in
+// microseconds, and only the estimated Pareto band over the active goals —
+// widened by the -band slack — is simulated cycle-exactly. Points outside
+// the band resolve at estimate fidelity (tagged in every table and in the
+// store). -plan prints the feasible point count, the axis breakdown, and
+// (with -tier2) the predicted estimate/simulate split, then exits without
+// simulating anything.
+//
+// The `calibrate` subcommand refits the estimator's calibration artifact
+// against the cycle-exact simulator and rewrites (or, with -check, verifies)
+// internal/estimate/calibration/default.json.
+//
 // Usage:
 //
 //	pathfind -bench VA,BS -axes "tasklets=1,4,16;ilp=base,D,DRSF;link=1,2,4" \
 //	         -scale tiny -store ./pfstore -pareto -goals energy,cost -energy -out ./report
+//	pathfind -tier2 -band 0.25 -bench VA -axes "tasklets=1,4,16;freq=350,700;link=1,2,4" -pareto
+//	pathfind calibrate -check
 //
 // Axis grammar: semicolon-separated "name=v1,v2,..." with axes tasklets,
 // dpus, freq (MHz), link (bandwidth multiplier), ilp (subsets of DRSF or
@@ -38,6 +53,9 @@ import (
 const defaultAxes = "tasklets=1,4,16;ilp=base,DRSF;link=1,2,4"
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "calibrate" {
+		os.Exit(runCalibrate(os.Args[2:]))
+	}
 	os.Exit(run())
 }
 
@@ -57,6 +75,10 @@ func run() int {
 		jobs     = flag.Int("jobs", 0, "concurrent simulation points (0 = GOMAXPROCS)")
 		out      = flag.String("out", "", "write a browsable report (CSV+JSON+Markdown+index.md) into this directory")
 		verbose  = flag.Bool("v", false, "log every point as it finishes")
+		tier2    = flag.Bool("tier2", false, "two-tier fidelity: estimate every point analytically, simulate only the estimated Pareto band over the active -goals")
+		band     = flag.Float64("band", 0.25, "ε slack of the tier2 band: points within this relative margin of the estimated frontier are simulated too")
+		calib    = flag.String("calibration", "", "calibration profile JSON for -tier2 (default: the committed artifact)")
+		plan     = flag.Bool("plan", false, "print the feasible point count, axis breakdown and (with -tier2) the predicted estimate/simulate split, then exit without simulating")
 	)
 	flag.Parse()
 
@@ -82,12 +104,20 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "pathfind:", err)
 		return 2
 	}
-	// Goals are only evaluated by the -pareto frontier, so an explicit
-	// -goals without it would be silently ignored.
-	goalsSet := false
-	flag.Visit(func(f *flag.Flag) { goalsSet = goalsSet || f.Name == "goals" })
-	if goalsSet && !*pareto {
-		fmt.Fprintln(os.Stderr, "pathfind: -goals only affects the -pareto frontier; add -pareto to use it")
+	// Goals are only evaluated by the -pareto frontier and the -tier2 band,
+	// so an explicit -goals without either would be silently ignored. The
+	// same applies to the tier2-only knobs.
+	goalsSet, bandSet := false, false
+	flag.Visit(func(f *flag.Flag) {
+		goalsSet = goalsSet || f.Name == "goals"
+		bandSet = bandSet || f.Name == "band"
+	})
+	if goalsSet && !*pareto && !*tier2 {
+		fmt.Fprintln(os.Stderr, "pathfind: -goals only affects the -pareto frontier and the -tier2 band; add one of them to use it")
+		return 2
+	}
+	if (bandSet || *calib != "") && !*tier2 {
+		fmt.Fprintln(os.Stderr, "pathfind: -band and -calibration only affect -tier2 triage; add -tier2 to use them")
 		return 2
 	}
 	// Likewise a profile only matters to evaluated energy/edp goals and the
@@ -125,6 +155,44 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "pathfind: every point of the space is infeasible; relax the axes or benchmarks")
 		return 2
 	}
+
+	var estimator *upim.Estimator
+	if *tier2 {
+		var cal *upim.CalibrationProfile // nil = the committed default
+		if *calib != "" {
+			if cal, err = upim.LoadCalibration(*calib); err != nil {
+				fmt.Fprintln(os.Stderr, "pathfind:", err)
+				return 2
+			}
+		}
+		if estimator, err = upim.NewEstimator(cal, prof); err != nil {
+			fmt.Fprintln(os.Stderr, "pathfind:", err)
+			return 2
+		}
+	}
+	topts := upim.TieredExploreOptions{Estimator: estimator, Band: *band, Goals: goalList}
+
+	if *plan {
+		fmt.Printf("pathfind plan: %d feasible points (%d raw) over %d benchmarks at scale %s\n",
+			len(pts), space.Size(), len(benchmarks), *scale)
+		for _, a := range axes {
+			labels := make([]string, len(a.Levels))
+			for i, l := range a.Levels {
+				labels[i] = l.Label
+			}
+			fmt.Printf("  axis %-9s %d levels: %s\n", a.Name, len(a.Levels), strings.Join(labels, ", "))
+		}
+		if *tier2 {
+			tri, terr := upim.PlanTieredExploration(space, topts)
+			if terr != nil {
+				fmt.Fprintln(os.Stderr, "pathfind:", terr)
+				return 2
+			}
+			fmt.Printf("  tier2: %d estimable, %d unestimable; band %d (%.1f%% of feasible) would simulate, %d resolve by estimate\n",
+				tri.Estimable, tri.Unestimable, tri.Band, 100*float64(tri.Band)/float64(tri.Feasible), tri.EstimateOnly)
+		}
+		return 0
+	}
 	fmt.Fprintf(os.Stderr, "pathfind: exploring %d feasible points (%d raw) over %d benchmarks\n",
 		len(pts), space.Size(), len(benchmarks))
 
@@ -145,6 +213,8 @@ func run() int {
 				status = "cached"
 			case o.Err != nil:
 				status = "FAILED: " + o.Err.Error()
+			case o.Fidelity == upim.FidelityEstimate:
+				status = "estimated"
 			}
 			fmt.Fprintf(os.Stderr, "pathfind: %s %s: %s\n", o.Point.Benchmark, o.Point.Design, status)
 		}
@@ -153,7 +223,13 @@ func run() int {
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer cancel()
 
-	x, err := upim.Explore(ctx, space, opts)
+	var x *upim.Exploration
+	var tri *upim.ExploreTriage
+	if *tier2 {
+		x, tri, err = upim.ExploreTiered(ctx, space, opts, topts)
+	} else {
+		x, err = upim.Explore(ctx, space, opts)
+	}
 	if x == nil {
 		fmt.Fprintln(os.Stderr, "pathfind:", err)
 		return 1
@@ -168,6 +244,9 @@ func run() int {
 	}
 
 	tables := []*upim.ResultTable{x.SummaryTable()}
+	if tri != nil {
+		tables = append(tables, x.TriageTable(tri))
+	}
 	if *pareto {
 		tables = append(tables, x.ParetoTable(goalList...), x.BestTable(*top))
 	}
@@ -187,6 +266,10 @@ func run() int {
 
 	fmt.Fprintf(os.Stderr, "pathfind: %d points: %d cached, %d simulated, %d failed\n",
 		len(x.Outcomes), x.Hits, x.Simulated, x.Failed)
+	if tri != nil {
+		fmt.Fprintf(os.Stderr, "pathfind: tier2: %d resolved by estimate, band %d/%d feasible (max rel err on band %.2f%%)\n",
+			x.Estimated, tri.Band, tri.Feasible, tri.MaxRelErr*100)
+	}
 	if store != nil {
 		n, _ := store.Count()
 		fmt.Fprintf(os.Stderr, "pathfind: store %s now holds %d points\n", store.Dir(), n)

@@ -133,3 +133,38 @@ func FormatAxes(axes []DesignAxis) string { return explore.FormatAxes(axes) }
 func ParetoFront(outs []ExploreOutcome, goals ...ExploreGoal) []ExploreOutcome {
 	return explore.Pareto(outs, goals...)
 }
+
+// Outcome fidelity values (ExploreOutcome.Fidelity and store entries).
+const (
+	// FidelityExact marks a cycle-exact simulation result.
+	FidelityExact = explore.FidelityExact
+	// FidelityEstimate marks a tier-A analytical estimate never validated by
+	// simulation.
+	FidelityEstimate = explore.FidelityEstimate
+)
+
+// TieredExploreOptions parameterize ExploreTiered: the estimator, the
+// ε-band slack, and the goals the band is computed over.
+type TieredExploreOptions = explore.TieredOptions
+
+// ExploreTriage summarizes a two-tier exploration's estimate/simulate split
+// and the estimator's measured accuracy on the simulated band.
+type ExploreTriage = explore.Triage
+
+// ExploreTiered runs the space in two fidelity tiers: every feasible point
+// is estimated analytically (~µs each), and only the estimated ε-Pareto
+// band over the active goals is simulated cycle-exactly through the store.
+// Points outside the band resolve at estimate fidelity and persist under
+// the estimate fidelity tag. Band membership depends only on the space,
+// calibration, goals and slack — never on store contents — so resumed
+// two-tier explorations reproduce byte-identical artifacts.
+func ExploreTiered(ctx context.Context, space *DesignSpace, opts ExploreOptions, topts TieredExploreOptions) (*Exploration, *ExploreTriage, error) {
+	return explore.New(opts).ExploreTiered(ctx, space, topts)
+}
+
+// PlanTieredExploration performs tier-A triage only — no simulation, no
+// store access — returning the predicted estimate/simulate split for the
+// space (the `pathfind -plan -tier2` guard).
+func PlanTieredExploration(space *DesignSpace, topts TieredExploreOptions) (*ExploreTriage, error) {
+	return explore.PlanTiered(space, topts)
+}

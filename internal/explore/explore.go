@@ -18,6 +18,7 @@ import (
 	"context"
 
 	"upim/internal/engine"
+	"upim/internal/estimate"
 	"upim/internal/prim"
 )
 
@@ -50,9 +51,17 @@ type Outcome struct {
 	Index int
 	// Key is the point's content address in the store.
 	Key string
-	// Result is the verified simulation result (nil when Err is set or the
-	// exploration was cancelled before the point ran).
+	// Result is the verified simulation result (nil when Err is set, the
+	// exploration was cancelled before the point ran, or the point was
+	// triaged to estimate fidelity by a two-tier exploration).
 	Result *prim.Result
+	// Fidelity is FidelityExact when Result is set, FidelityEstimate when the
+	// point carries only a tier-A estimate, "" for failed/skipped points.
+	Fidelity string
+	// Estimate is the tier-A analytical prediction. Two-tier explorations set
+	// it on every estimable point — including simulated ones, where it sits
+	// alongside the exact Result for predicted-vs-actual accounting.
+	Estimate *estimate.Estimate
 	// Cached marks a store hit: the point was not simulated by this run.
 	Cached bool
 	Err    error
@@ -65,8 +74,10 @@ type Exploration struct {
 	Points   []Point
 	Outcomes []Outcome
 	// Hits counts points served from the store, Simulated points actually
-	// run by this exploration, Failed points that errored.
-	Hits, Simulated, Failed int
+	// run by this exploration, Failed points that errored, and Estimated
+	// points resolved at estimate fidelity without simulation (two-tier
+	// explorations only).
+	Hits, Simulated, Failed, Estimated int
 }
 
 // FirstErr returns the first point error in point order, if any.
@@ -133,7 +144,7 @@ func (e *Explorer) Explore(ctx context.Context, space *Space) (*Exploration, err
 		o := Outcome{Point: p, Index: i, Key: KeyOf(ep)}
 		if !e.refresh {
 			if res, ok := e.store.Get(o.Key); ok {
-				o.Result, o.Cached = res, true
+				o.Result, o.Cached, o.Fidelity = res, true, FidelityExact
 				x.Hits++
 			}
 		}
@@ -160,6 +171,7 @@ func (e *Explorer) Explore(ctx context.Context, space *Space) (*Exploration, err
 			if o.Err != nil {
 				x.Failed++
 			} else if o.Result != nil {
+				o.Fidelity = FidelityExact
 				x.Simulated++
 			}
 			e.emit(*o)

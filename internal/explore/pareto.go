@@ -12,9 +12,18 @@ type Goal struct {
 	// (energy, EDP) — CLIs use it to reject a -profile nothing will read
 	// without string-matching goal names.
 	UsesProfile bool
+	// ProfileName names the TechProfile a UsesProfile goal was bound to. The
+	// two-tier explorer refuses to triage when it differs from the
+	// estimator's profile — estimated and exact values must be priced under
+	// the same technology.
+	ProfileName string
 	// Value extracts the objective from an outcome with a non-nil Result,
 	// expressed in Unit units — artifact tables render it as-is.
 	Value func(Outcome) float64
+	// Est extracts the same objective from an outcome carrying only a tier-A
+	// estimate (Outcome.Estimate non-nil), in the same Unit. Goals without an
+	// Est accessor cannot drive two-tier triage.
+	Est func(Outcome) float64
 }
 
 // GoalTime is the modeled end-to-end milliseconds of a point (kernel plus
@@ -28,6 +37,7 @@ func GoalTime() Goal {
 			r := o.Result.Report
 			return r.Total() * 1e3
 		},
+		Est: func(o Outcome) float64 { return o.Estimate.TotalSeconds * 1e3 },
 	}
 }
 
@@ -38,6 +48,7 @@ func GoalKernelTime() Goal {
 		Name:  "kernel time",
 		Unit:  "ms",
 		Value: func(o Outcome) float64 { return o.Result.Report.KernelSeconds * 1e3 },
+		Est:   func(o Outcome) float64 { return o.Estimate.KernelSeconds * 1e3 },
 	}
 }
 
@@ -47,6 +58,7 @@ func GoalCost() Goal {
 	return Goal{
 		Name:  "cost",
 		Value: func(o Outcome) float64 { return o.Point.Cost },
+		Est:   func(o Outcome) float64 { return o.Point.Cost },
 	}
 }
 
@@ -59,7 +71,9 @@ func GoalEnergy(p *energy.TechProfile) Goal {
 		Name:        "energy",
 		Unit:        "uJ",
 		UsesProfile: true,
+		ProfileName: p.Name,
 		Value:       func(o Outcome) float64 { return o.Result.Energy(p).MicroJoules() },
+		Est:         func(o Outcome) float64 { return o.Estimate.MicroJoules() },
 	}
 }
 
@@ -72,9 +86,11 @@ func GoalEDP(p *energy.TechProfile) Goal {
 		Name:        "EDP",
 		Unit:        "uJ*ms",
 		UsesProfile: true,
+		ProfileName: p.Name,
 		Value: func(o Outcome) float64 {
 			return o.Result.Energy(p).EDPMicroJouleMS(o.Result.Report.Total())
 		},
+		Est: func(o Outcome) float64 { return o.Estimate.EDPMicroJouleMS() },
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 
 	"upim/internal/engine"
+	"upim/internal/estimate"
 	"upim/internal/prim"
 )
 
@@ -23,8 +24,21 @@ import (
 //
 // Format history: 2 added the energy-model event counters (rf_reads,
 // rf_writes, cache array accesses) and Result.Config, which the energy
-// goals integrate — format-1 results would yield zero energy.
-const storeFormat = 2
+// goals integrate — format-1 results would yield zero energy. 3 added the
+// fidelity tag distinguishing cycle-exact results from analytical estimates
+// (two-tier exploration): an entry without a known fidelity is never served,
+// so a store written by a newer format — or a tampered one — degrades to
+// re-simulation instead of silently passing an estimate off as cycle-exact.
+const storeFormat = 3
+
+// Fidelity values of a store entry (and of an exploration outcome).
+const (
+	// FidelityExact marks a cycle-exact simulation result.
+	FidelityExact = "exact"
+	// FidelityEstimate marks an analytical tier-A estimate (internal/estimate)
+	// that was never validated by simulation.
+	FidelityEstimate = "estimate"
+)
 
 // KeyOf returns the content address of a simulation point: a SHA-256 over
 // the store format version and the point's canonical JSON — benchmark,
@@ -53,7 +67,11 @@ type entry struct {
 	Format int          `json:"format"`
 	Key    string       `json:"key"`
 	Point  engine.Point `json:"point"`
-	Result *prim.Result `json:"result"`
+	// Fidelity is FidelityExact or FidelityEstimate; exactly one of Result
+	// and Estimate is set, matching it.
+	Fidelity string             `json:"fidelity"`
+	Result   *prim.Result       `json:"result,omitempty"`
+	Estimate *estimate.Estimate `json:"estimate,omitempty"`
 }
 
 // StoreStats counts store activity for one process.
@@ -112,22 +130,53 @@ func (s *Store) path(key string) string {
 	return filepath.Join(s.dir, key[:2], key+".json")
 }
 
-// Get returns the stored result for key, or ok=false when the point has not
-// been simulated yet. Undecodable or mismatched entries count as corrupt
+// load reads and validates the entry for key. Undecodable entries, stale
+// formats, mismatched keys and unknown fidelity values all count as corrupt
 // and report a miss, so a stale or damaged store re-simulates rather than
-// failing the exploration. A nil store always misses.
-func (s *Store) Get(key string) (*prim.Result, bool) {
-	if s == nil {
-		return nil, false
-	}
+// failing the exploration — and, crucially, an entry whose fidelity this
+// code does not recognize is never served at all.
+func (s *Store) load(key string) (*entry, bool) {
 	data, err := os.ReadFile(s.path(key))
 	if err != nil {
 		s.misses.Add(1)
 		return nil, false
 	}
 	var e entry
-	if err := json.Unmarshal(data, &e); err != nil || e.Format != storeFormat || e.Key != key || e.Result == nil {
+	if err := json.Unmarshal(data, &e); err != nil || e.Format != storeFormat || e.Key != key {
 		s.corrupt.Add(1)
+		s.misses.Add(1)
+		return nil, false
+	}
+	switch e.Fidelity {
+	case FidelityExact:
+		if e.Result == nil {
+			break
+		}
+		return &e, true
+	case FidelityEstimate:
+		if e.Estimate == nil {
+			break
+		}
+		return &e, true
+	}
+	s.corrupt.Add(1)
+	s.misses.Add(1)
+	return nil, false
+}
+
+// Get returns the stored cycle-exact result for key, or ok=false when the
+// point has not been simulated yet. Estimate-fidelity entries are NOT served
+// here: an estimate is never passed off as cycle-exact (they miss without
+// counting as corrupt). A nil store always misses.
+func (s *Store) Get(key string) (*prim.Result, bool) {
+	if s == nil {
+		return nil, false
+	}
+	e, ok := s.load(key)
+	if !ok {
+		return nil, false
+	}
+	if e.Fidelity != FidelityExact {
 		s.misses.Add(1)
 		return nil, false
 	}
@@ -135,8 +184,28 @@ func (s *Store) Get(key string) (*prim.Result, bool) {
 	return e.Result, true
 }
 
-// Put persists one finished point atomically, overwriting any previous
-// entry for the key. A nil store discards the result.
+// GetEstimate returns the stored tier-A estimate for key, or ok=false when
+// the entry is absent or holds any other fidelity. A nil store always
+// misses.
+func (s *Store) GetEstimate(key string) (*estimate.Estimate, bool) {
+	if s == nil {
+		return nil, false
+	}
+	e, ok := s.load(key)
+	if !ok {
+		return nil, false
+	}
+	if e.Fidelity != FidelityEstimate {
+		s.misses.Add(1)
+		return nil, false
+	}
+	s.hits.Add(1)
+	return e.Estimate, true
+}
+
+// Put persists one cycle-exact result atomically, overwriting any previous
+// entry for the key (including an estimate — exact always upgrades). A nil
+// store discards the result.
 func (s *Store) Put(key string, p engine.Point, res *prim.Result) error {
 	if s == nil {
 		return nil
@@ -144,7 +213,29 @@ func (s *Store) Put(key string, p engine.Point, res *prim.Result) error {
 	if res == nil {
 		return fmt.Errorf("explore: refusing to store a nil result for %s", key)
 	}
-	data, err := json.Marshal(entry{Format: storeFormat, Key: key, Point: p, Result: res})
+	return s.write(key, entry{Format: storeFormat, Key: key, Point: p, Fidelity: FidelityExact, Result: res})
+}
+
+// PutEstimate persists one tier-A estimate atomically under the estimate
+// fidelity tag. It never downgrades: when the key already holds a valid
+// cycle-exact entry, the estimate is discarded and the exact entry kept. A
+// nil store discards the estimate.
+func (s *Store) PutEstimate(key string, p engine.Point, est *estimate.Estimate) error {
+	if s == nil {
+		return nil
+	}
+	if est == nil {
+		return fmt.Errorf("explore: refusing to store a nil estimate for %s", key)
+	}
+	if e, ok := s.load(key); ok && e.Fidelity == FidelityExact {
+		return nil
+	}
+	return s.write(key, entry{Format: storeFormat, Key: key, Point: p, Fidelity: FidelityEstimate, Estimate: est})
+}
+
+// write atomically persists one entry (temp file + rename).
+func (s *Store) write(key string, e entry) error {
+	data, err := json.Marshal(e)
 	if err != nil {
 		return fmt.Errorf("explore: encoding %s: %w", key, err)
 	}

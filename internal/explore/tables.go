@@ -30,6 +30,7 @@ func (x *Exploration) SummaryTable() *artifact.Table {
 		artifact.Column{Name: "total", Unit: "ms"},
 		artifact.Column{Name: "IPC"},
 		artifact.Column{Name: "instructions"},
+		artifact.Column{Name: "fidelity"},
 		artifact.Column{Name: "status"},
 	)
 	for _, o := range x.Outcomes {
@@ -38,11 +39,8 @@ func (x *Exploration) SummaryTable() *artifact.Table {
 			row = append(row, artifact.Str(l))
 		}
 		row = append(row, artifact.Num(o.Point.Cost))
-		if o.Result == nil {
-			for i := 0; i < 5; i++ {
-				row = append(row, artifact.Str("-"))
-			}
-		} else {
+		switch {
+		case o.Result != nil:
 			rep := o.Result.Report
 			transfer := rep.Total() - rep.KernelSeconds
 			row = append(row,
@@ -52,12 +50,33 @@ func (x *Exploration) SummaryTable() *artifact.Table {
 				artifact.Num(o.Result.Stats.IPC()),
 				artifact.Int(o.Result.Stats.Instructions),
 			)
+		case o.Fidelity == FidelityEstimate && o.Estimate != nil:
+			// A tier-A row: modeled times only; the per-instruction counters
+			// exist solely in cycle-exact results, so those cells stay empty.
+			row = append(row,
+				artifact.Num(o.Estimate.KernelSeconds*1e3),
+				artifact.Num(o.Estimate.TransferSeconds*1e3),
+				artifact.Num(o.Estimate.TotalSeconds*1e3),
+				artifact.Str("-"),
+				artifact.Str("-"),
+			)
+		default:
+			for i := 0; i < 5; i++ {
+				row = append(row, artifact.Str("-"))
+			}
+		}
+		if o.Fidelity != "" {
+			row = append(row, artifact.Str(o.Fidelity))
+		} else {
+			row = append(row, artifact.Str("-"))
 		}
 		// Err wins over Result: a point that simulated but failed to persist
 		// is a failure, not an "ok" row.
 		switch {
 		case o.Err != nil:
 			row = append(row, artifact.Str("FAIL: "+o.Err.Error()))
+		case o.Fidelity == FidelityEstimate:
+			row = append(row, artifact.Str("estimated"))
 		case o.Result == nil:
 			row = append(row, artifact.Str("SKIP"))
 		default:
