@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race cover bench fmt vet report refdata pathfind-smoke energy-check calibration-check
+.PHONY: build test test-race race cover bench fmt vet report refdata pathfind-smoke coord-smoke energy-check calibration-check
 
 build:
 	$(GO) build ./...
@@ -8,8 +8,13 @@ build:
 test: fmt vet
 	$(GO) test ./...
 
-race:
+# test-race mirrors the CI race job: the full suite under the race detector,
+# including the coordinator's crash/fault-injection tests, whose concurrent
+# workers + lease reclaim are exactly the code the detector is for.
+test-race:
 	$(GO) test -race ./...
+
+race: test-race
 
 cover:
 	$(GO) test -coverprofile=coverage.out -covermode=atomic ./...
@@ -21,6 +26,16 @@ pathfind-smoke:
 	$(GO) run ./cmd/pathfind -bench VA,BS -axes "tasklets=1,4;link=1,2" -scale tiny -store pfstore -pareto -goals energy,cost -energy -out pfreport1
 	$(GO) run ./cmd/pathfind -bench VA,BS -axes "tasklets=1,4;link=1,2" -scale tiny -store pfstore -pareto -goals energy,cost -energy -out pfreport2
 	diff -r pfreport1 pfreport2
+
+# coord-smoke mirrors the CI job: the same tiny exploration run by four
+# coordinated workers through leased shards, then single-process; the
+# artifacts must match byte for byte and the events log must exist.
+coord-smoke:
+	rm -rf coordstore coordreport1 coordreport2 coord-events.jsonl
+	$(GO) run ./cmd/pathfind -coordinator -workers 4 -events coord-events.jsonl -bench VA,BS -axes "tasklets=1,4;link=1,2" -scale tiny -store coordstore -pareto -goals energy,cost -energy -out coordreport1
+	$(GO) run ./cmd/pathfind -bench VA,BS -axes "tasklets=1,4;link=1,2" -scale tiny -store coordstore -pareto -goals energy,cost -energy -out coordreport2
+	diff -r coordreport1 coordreport2
+	test -s coord-events.jsonl
 
 # energy-check mirrors the CI job: regenerate the energy breakdown at tiny
 # scale, validate it against the committed reference at eps 1e-12, and leave

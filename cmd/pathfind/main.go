@@ -21,6 +21,21 @@
 // (with -tier2) the predicted estimate/simulate split, then exits without
 // simulating anything.
 //
+// With -coordinator, the exploration runs as a sharded multi-worker system:
+// -workers N workers drain leased shards of the point enumeration through
+// the shared store, live progress streams to stderr (and, with -events, to a
+// machine-readable JSONL log), and dead workers lose their leases so their
+// shards re-queue. The artifacts are byte-identical to an uncoordinated run.
+// -store also accepts an http(s):// URL pointing at a store server.
+//
+// The `serve` subcommand serves a result store — and, given space flags, a
+// lease-protocol coordinator over that space — over HTTP; `work -connect URL`
+// runs one remote worker process against it. Together they spread one
+// exploration across processes and machines:
+//
+//	pathfind serve -addr :7070 -store ./pfstore -bench VA,BS -scale tiny
+//	pathfind work -connect http://host:7070 -name w0   # on each machine
+//
 // The `calibrate` subcommand refits the estimator's calibration artifact
 // against the cycle-exact simulator and rewrites (or, with -check, verifies)
 // internal/estimate/calibration/default.json.
@@ -30,6 +45,7 @@
 //	pathfind -bench VA,BS -axes "tasklets=1,4,16;ilp=base,D,DRSF;link=1,2,4" \
 //	         -scale tiny -store ./pfstore -pareto -goals energy,cost -energy -out ./report
 //	pathfind -tier2 -band 0.25 -bench VA -axes "tasklets=1,4,16;freq=350,700;link=1,2,4" -pareto
+//	pathfind -coordinator -workers 4 -store ./pfstore -events events.jsonl -bench VA -pareto
 //	pathfind calibrate -check
 //
 // Axis grammar: semicolon-separated "name=v1,v2,..." with axes tasklets,
@@ -46,6 +62,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"time"
 
 	"upim"
 )
@@ -53,32 +70,42 @@ import (
 const defaultAxes = "tasklets=1,4,16;ilp=base,DRSF;link=1,2,4"
 
 func main() {
-	if len(os.Args) > 1 && os.Args[1] == "calibrate" {
-		os.Exit(runCalibrate(os.Args[2:]))
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "calibrate":
+			os.Exit(runCalibrate(os.Args[2:]))
+		case "serve":
+			os.Exit(runServe(os.Args[2:]))
+		case "work":
+			os.Exit(runWork(os.Args[2:]))
+		}
 	}
 	os.Exit(run())
 }
 
 func run() int {
 	var (
-		bench    = flag.String("bench", "", "comma-separated benchmark subset (default: all 16)")
-		axesSpec = flag.String("axes", defaultAxes, "design axes: \"name=v1,v2;...\" over tasklets, dpus, freq, link, ilp, mode")
-		scale    = flag.String("scale", "tiny", "dataset scale: tiny, small or paper")
-		dpus     = flag.Int("dpus", 1, "base DPU count (a dpus axis overrides it)")
-		storeDir = flag.String("store", "", "persistent result store directory (enables resume; empty = no persistence)")
-		resume   = flag.Bool("resume", true, "serve previously finished points from the store; -resume=false re-simulates (and refreshes) every point")
-		pareto   = flag.Bool("pareto", false, "print the per-benchmark Pareto frontier (see -goals) and ranked best configs")
-		goals    = flag.String("goals", "time,cost", "comma-separated Pareto objectives for -pareto: time, kernel, cost, energy, edp")
-		profile  = flag.String("profile", "", "energy TechProfile JSON overriding the committed default (used by the energy/edp goals and -energy)")
-		energyT  = flag.Bool("energy", false, "print the per-point energy breakdown table")
-		top      = flag.Int("top", 3, "designs per benchmark in the best-config ranking")
-		jobs     = flag.Int("jobs", 0, "concurrent simulation points (0 = GOMAXPROCS)")
-		out      = flag.String("out", "", "write a browsable report (CSV+JSON+Markdown+index.md) into this directory")
-		verbose  = flag.Bool("v", false, "log every point as it finishes")
-		tier2    = flag.Bool("tier2", false, "two-tier fidelity: estimate every point analytically, simulate only the estimated Pareto band over the active -goals")
-		band     = flag.Float64("band", 0.25, "ε slack of the tier2 band: points within this relative margin of the estimated frontier are simulated too")
-		calib    = flag.String("calibration", "", "calibration profile JSON for -tier2 (default: the committed artifact)")
-		plan     = flag.Bool("plan", false, "print the feasible point count, axis breakdown and (with -tier2) the predicted estimate/simulate split, then exit without simulating")
+		bench     = flag.String("bench", "", "comma-separated benchmark subset (default: all 16)")
+		axesSpec  = flag.String("axes", defaultAxes, "design axes: \"name=v1,v2;...\" over tasklets, dpus, freq, link, ilp, mode")
+		scale     = flag.String("scale", "tiny", "dataset scale: tiny, small or paper")
+		dpus      = flag.Int("dpus", 1, "base DPU count (a dpus axis overrides it)")
+		storeDir  = flag.String("store", "", "persistent result store directory (enables resume; empty = no persistence)")
+		resume    = flag.Bool("resume", true, "serve previously finished points from the store; -resume=false re-simulates (and refreshes) every point")
+		pareto    = flag.Bool("pareto", false, "print the per-benchmark Pareto frontier (see -goals) and ranked best configs")
+		goals     = flag.String("goals", "time,cost", "comma-separated Pareto objectives for -pareto: time, kernel, cost, energy, edp")
+		profile   = flag.String("profile", "", "energy TechProfile JSON overriding the committed default (used by the energy/edp goals and -energy)")
+		energyT   = flag.Bool("energy", false, "print the per-point energy breakdown table")
+		top       = flag.Int("top", 3, "designs per benchmark in the best-config ranking")
+		jobs      = flag.Int("jobs", 0, "concurrent simulation points (0 = GOMAXPROCS)")
+		out       = flag.String("out", "", "write a browsable report (CSV+JSON+Markdown+index.md) into this directory")
+		verbose   = flag.Bool("v", false, "log every point as it finishes")
+		tier2     = flag.Bool("tier2", false, "two-tier fidelity: estimate every point analytically, simulate only the estimated Pareto band over the active -goals")
+		band      = flag.Float64("band", 0.25, "ε slack of the tier2 band: points within this relative margin of the estimated frontier are simulated too")
+		calib     = flag.String("calibration", "", "calibration profile JSON for -tier2 (default: the committed artifact)")
+		plan      = flag.Bool("plan", false, "print the feasible point count, axis breakdown and (with -tier2) the predicted estimate/simulate split, then exit without simulating")
+		coordMode = flag.Bool("coordinator", false, "coordinated exploration: shard the space into leased work units drained by -workers workers through the shared -store")
+		workers   = flag.Int("workers", 4, "worker count for -coordinator")
+		events    = flag.String("events", "", "append the machine-readable JSONL coordination events log to this file (-coordinator only)")
 	)
 	flag.Parse()
 
@@ -197,13 +224,30 @@ func run() int {
 		len(pts), space.Size(), len(benchmarks))
 
 	opts := upim.ExploreOptions{Parallelism: *jobs, Refresh: !*resume}
-	var store *upim.ResultStore
+	var store upim.StoreBackend
 	if *storeDir != "" {
-		if store, err = upim.OpenResultStore(*storeDir); err != nil {
+		if strings.HasPrefix(*storeDir, "http://") || strings.HasPrefix(*storeDir, "https://") {
+			store, err = upim.DialResultStore(*storeDir, upim.HTTPResultStoreOptions{})
+		} else {
+			store, err = upim.OpenResultStore(*storeDir)
+		}
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "pathfind:", err)
 			return 1
 		}
 		opts.Store = store
+	}
+	if *coordMode && store == nil {
+		fmt.Fprintln(os.Stderr, "pathfind: -coordinator requires -store (workers and the merge share results through it)")
+		return 2
+	}
+	if *coordMode && !*resume {
+		fmt.Fprintln(os.Stderr, "pathfind: -resume=false is incompatible with -coordinator (workers depend on serving each other's finished points)")
+		return 2
+	}
+	if *events != "" && !*coordMode {
+		fmt.Fprintln(os.Stderr, "pathfind: -events records the coordination events log; add -coordinator to use it")
+		return 2
 	}
 	if *verbose {
 		opts.OnOutcome = func(o upim.ExploreOutcome) {
@@ -225,9 +269,30 @@ func run() int {
 
 	var x *upim.Exploration
 	var tri *upim.ExploreTriage
-	if *tier2 {
+	switch {
+	case *coordMode:
+		copts := upim.CoordOptions{
+			Workers:     *workers,
+			Parallelism: *jobs,
+			Store:       store,
+			OnProgress:  progressPrinter(),
+		}
+		if *tier2 {
+			copts.Tiered = &topts
+		}
+		if *events != "" {
+			ef, ferr := os.OpenFile(*events, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if ferr != nil {
+				fmt.Fprintln(os.Stderr, "pathfind:", ferr)
+				return 1
+			}
+			defer ef.Close()
+			copts.Events = ef
+		}
+		x, tri, err = upim.CoordinatedExplore(ctx, space, copts)
+	case *tier2:
 		x, tri, err = upim.ExploreTiered(ctx, space, opts, topts)
-	} else {
+	default:
 		x, err = upim.Explore(ctx, space, opts)
 	}
 	if x == nil {
@@ -237,7 +302,7 @@ func run() int {
 	if errors.Is(err, context.Canceled) {
 		fmt.Fprintf(os.Stderr, "pathfind: interrupted after %d simulated points", x.Simulated)
 		if store != nil {
-			fmt.Fprintf(os.Stderr, " — rerun with the same -store %s to resume", store.Dir())
+			fmt.Fprintf(os.Stderr, " — rerun with the same -store %s to resume", *storeDir)
 		}
 		fmt.Fprintln(os.Stderr)
 		return 1
@@ -272,11 +337,29 @@ func run() int {
 	}
 	if store != nil {
 		n, _ := store.Count()
-		fmt.Fprintf(os.Stderr, "pathfind: store %s now holds %d points\n", store.Dir(), n)
+		fmt.Fprintf(os.Stderr, "pathfind: store %s now holds %d points\n", *storeDir, n)
+		if st := store.Stats(); st.Corrupt > 0 {
+			fmt.Fprintf(os.Stderr, "pathfind: store: %d corrupt entries degraded to re-simulation — the store repaired them, but check the directory's health\n", st.Corrupt)
+		}
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pathfind:", err)
 		return 1
 	}
 	return 0
+}
+
+// progressPrinter streams coordinated-exploration progress to stderr: one
+// line per snapshot, throttled to twice a second so N workers cannot flood
+// the terminal, always printing the final (all-done) snapshot.
+func progressPrinter() func(upim.CoordProgress) {
+	var last time.Time
+	return func(p upim.CoordProgress) {
+		done := p.Done == p.Total && p.Coordination.AllDone
+		if !done && time.Since(last) < 500*time.Millisecond {
+			return
+		}
+		last = time.Now()
+		fmt.Fprintln(os.Stderr, "pathfind:", p)
+	}
 }

@@ -1,0 +1,177 @@
+package coord
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Event types of the machine-readable events log, one JSON object per line.
+// Lease events trace the state machine; point events trace per-point work
+// (Key carries the point's content address, so "no point simulated twice"
+// is checkable by grepping the log); fault events mark injected failures so
+// a forced re-simulation is distinguishable from a duplicated one.
+const (
+	EventWorkerStart = "worker_start"
+	// EventWorkerKill marks a fault-injected worker death (FaultPlan).
+	EventWorkerKill = "worker_kill"
+	EventWorkerExit = "worker_exit"
+
+	EventLeaseGrant    = "lease_grant"
+	EventLeaseRenew    = "lease_renew"
+	EventLeaseExpire   = "lease_expire"
+	EventLeaseReclaim  = "lease_reclaim"
+	EventLeaseComplete = "lease_complete"
+	// EventLeaseReject marks a renew/complete with a stale lease (the
+	// double-claim / zombie-worker case).
+	EventLeaseReject = "lease_reject"
+	// EventRenewDropped marks a fault-injected dropped renewal.
+	EventRenewDropped = "renew_dropped"
+	// EventLeaseLost is a worker-side event: it noticed its lease is gone and
+	// abandoned the shard's remaining points.
+	EventLeaseLost = "lease_lost"
+
+	EventPointCached    = "point_cached"
+	EventPointSimulated = "point_simulated"
+	EventPointEstimated = "point_estimated"
+	EventPointFailed    = "point_failed"
+	// EventPutCorrupt marks a fault-injected corrupted store write: the
+	// point's entry is damaged on purpose, and its later re-simulation is
+	// forced, not duplicated.
+	EventPutCorrupt = "put_corrupt"
+
+	EventMergeStart = "merge_start"
+	// EventMergeSimulated marks a point the final merge had to re-simulate —
+	// a worker failure, a reclaimed half-done shard killed before the store
+	// write, or a corrupt entry. Zero of these outside injected faults is
+	// the no-duplicate-work invariant.
+	EventMergeSimulated = "merge_simulated"
+	EventMergeDone      = "merge_done"
+)
+
+// Event is one line of the events log. Shard and Point use -1 for "not
+// applicable" so index 0 stays representable.
+type Event struct {
+	Seq  int64     `json:"seq"`
+	Time time.Time `json:"time"`
+	Type string    `json:"type"`
+	// Worker names the acting worker ("w2", "w2.r1" after a respawn, "merge"
+	// for the final merge pass); empty for coordinator-internal events.
+	Worker string `json:"worker,omitempty"`
+	Shard  int    `json:"shard"`
+	Lease  string `json:"lease,omitempty"`
+	// Point is the point's index in the space enumeration; Key its content
+	// address in the store.
+	Point int    `json:"point"`
+	Key   string `json:"key,omitempty"`
+	Err   string `json:"err,omitempty"`
+}
+
+// Log is a concurrency-safe JSONL event sink. A nil Log discards events, so
+// logging stays optional everywhere.
+type Log struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+	seq int64
+	now func() time.Time
+}
+
+// NewLog writes events to w as JSON lines.
+func NewLog(w io.Writer) *Log {
+	return &Log{enc: json.NewEncoder(w), now: time.Now}
+}
+
+// emit stamps and writes one event; -1 fills unset Shard/Point slots when
+// the zero value was not explicitly meaningful (emit sites always set both
+// fields, so zeroes here mean "not applicable").
+func (l *Log) emit(e Event) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.seq++
+	e.Seq = l.seq
+	e.Time = l.now()
+	// Encode errors are unrecoverable mid-run (a torn log is still parseable
+	// up to the tear) and must never fail the exploration itself.
+	_ = l.enc.Encode(e)
+}
+
+// point is the emit helper for per-point events.
+func (l *Log) point(typ, worker string, shard, point int, key string, err error) {
+	e := Event{Type: typ, Worker: worker, Shard: shard, Point: point, Key: key}
+	if err != nil {
+		e.Err = err.Error()
+	}
+	l.emit(e)
+}
+
+// ParseEvents reads back a JSONL events log. A truncated final line (a
+// killed process mid-write) is tolerated; any other malformed line is an
+// error.
+func ParseEvents(r io.Reader) ([]Event, error) {
+	var events []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(line, &e); err != nil {
+			if !sc.Scan() { // final line: tolerate the tear
+				return events, nil
+			}
+			return nil, fmt.Errorf("coord: events log line %d: %w", len(events)+1, err)
+		}
+		events = append(events, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("coord: reading events log: %w", err)
+	}
+	return events, nil
+}
+
+// Progress is one live snapshot of a coordinated exploration, streamed to
+// OnProgress as points resolve: how much of the space is done, the fidelity
+// split, the work the store saved or lost, and the current frontier size.
+type Progress struct {
+	// Total points in the space; Done points resolved so far (any fidelity).
+	Total, Done int
+	// Cached/Simulated/Estimated/Failed split Done by how each point
+	// resolved during the worker phase.
+	Cached, Simulated, Estimated, Failed int
+	// MergeSimulated counts points the final merge re-simulated (corrupt or
+	// missing entries); nonzero values outside injected faults mean workers
+	// lost finished work.
+	MergeSimulated int
+	// Corrupt is the store backend's corrupt-entry counter: entries that
+	// existed but failed to decode and silently degraded to re-simulation.
+	// Surfaced here so a damaged store is visible, not silent.
+	Corrupt int64
+	// ParetoSize is the current total Pareto-frontier size across benchmarks
+	// under the default time/cost goals — the live "is the frontier still
+	// moving" readout.
+	ParetoSize int
+	// Coordination is the lease-level view.
+	Coordination Status
+}
+
+// String renders the one-line terminal form.
+func (p Progress) String() string {
+	s := fmt.Sprintf("%d/%d points (%d cached, %d simulated, %d estimated, %d failed) | shards %d/%d done, %d leased | pareto %d",
+		p.Done, p.Total, p.Cached, p.Simulated, p.Estimated, p.Failed,
+		p.Coordination.Done, p.Coordination.Shards, p.Coordination.Leased, p.ParetoSize)
+	if p.Corrupt > 0 {
+		s += fmt.Sprintf(" | %d corrupt entries re-simulated", p.Corrupt)
+	}
+	if p.MergeSimulated > 0 {
+		s += fmt.Sprintf(" | %d merge re-simulations", p.MergeSimulated)
+	}
+	return s
+}

@@ -1,0 +1,52 @@
+package coord
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzLeaseCodec pins the work-unit codec's safety contract: no input makes
+// DecodeWorkUnit panic, everything it accepts is internally valid, and
+// accepted units survive an encode/decode round trip bit-exactly.
+func FuzzLeaseCodec(f *testing.F) {
+	if b, err := EncodeWorkUnit(&WorkUnit{Shard: 0, Start: 0, End: 2, Lease: "s0.g1", TTLMillis: 10000, Total: 16}); err == nil {
+		f.Add(b)
+	}
+	if b, err := EncodeWorkUnit(&WorkUnit{Shard: 7, Start: 14, End: 16, Lease: "s7.g3", TTLMillis: 1, Total: 16}); err == nil {
+		f.Add(b)
+	}
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"shard":-1,"start":0,"end":2,"lease":"s0.g1","ttl_ms":1,"total":2}`))
+	f.Add([]byte(`{"shard":0,"start":2,"end":1,"lease":"s0.g1","ttl_ms":1,"total":2}`))
+	f.Add([]byte(`{"shard":0,"start":0,"end":2,"lease":"evil","ttl_ms":1,"total":2}`))
+	f.Add([]byte(`{"shard":0,"start":0,"end":2,"lease":"s0.g1","ttl_ms":1,"total":2,"extra":1}`))
+	f.Add([]byte(`{"shard":0,"start":0,"end":2,"lease":"s0.g1","ttl_ms":1,"total":2}{"again":true}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(``))
+	f.Add([]byte(`[1,2,3]`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		u, err := DecodeWorkUnit(data)
+		if err != nil {
+			return // rejected input: only the no-panic guarantee applies
+		}
+		if verr := u.Validate(); verr != nil {
+			t.Fatalf("DecodeWorkUnit accepted an invalid unit %+v: %v", u, verr)
+		}
+		wire, err := EncodeWorkUnit(u)
+		if err != nil {
+			t.Fatalf("accepted unit %+v does not re-encode: %v", u, err)
+		}
+		u2, err := DecodeWorkUnit(wire)
+		if err != nil {
+			t.Fatalf("canonical wire form %s does not decode: %v", wire, err)
+		}
+		if *u2 != *u {
+			t.Fatalf("round trip changed the unit: %+v -> %+v", u, u2)
+		}
+		wire2, err := EncodeWorkUnit(u2)
+		if err != nil || !bytes.Equal(wire, wire2) {
+			t.Fatalf("canonical form is not a fixed point: %s -> %s (err %v)", wire, wire2, err)
+		}
+	})
+}

@@ -1,0 +1,449 @@
+package coord
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"upim/internal/engine"
+	"upim/internal/explore"
+	"upim/internal/prim"
+)
+
+// SpaceSpec is the serializable description of a design space the lease
+// protocol ships to remote workers. It covers spaces over the default base
+// configuration; programmatic Constrain filters and mutated base configs
+// cannot travel over the wire — a worker handed such a space would enumerate
+// different point indices than the coordinator, so SpecFor refuses them.
+type SpaceSpec struct {
+	Benchmarks []string `json:"benchmarks"`
+	// Axes is the FormatAxes form of the space's design axes; empty means an
+	// axis-less space.
+	Axes  string `json:"axes,omitempty"`
+	Scale string `json:"scale"`
+	DPUs  int    `json:"dpus"`
+	// Watchdog is the exploration's watchdog bound — part of store keys, so
+	// workers must agree on it.
+	Watchdog uint64 `json:"watchdog,omitempty"`
+}
+
+// SpecFor captures a space (plus the exploration watchdog) as a wire spec.
+func SpecFor(space *explore.Space, watchdog uint64) (SpaceSpec, error) {
+	if space.Constrained() {
+		return SpaceSpec{}, fmt.Errorf("coord: constrained spaces cannot be served to remote workers (constraints are functions and do not serialize); filter with axis levels instead")
+	}
+	return SpaceSpec{
+		Benchmarks: space.Benchmarks,
+		Axes:       explore.FormatAxes(space.Axes),
+		Scale:      space.Scale.String(),
+		DPUs:       space.DPUs,
+		Watchdog:   watchdog,
+	}, nil
+}
+
+// Space reconstructs the explore.Space a spec describes.
+func (s SpaceSpec) Space() (*explore.Space, error) {
+	if len(s.Benchmarks) == 0 {
+		return nil, fmt.Errorf("coord: space spec has no benchmarks")
+	}
+	scale, err := prim.ParseScale(s.Scale)
+	if err != nil {
+		return nil, fmt.Errorf("coord: space spec: %w", err)
+	}
+	var axes []explore.Axis
+	if s.Axes != "" {
+		if axes, err = explore.ParseAxes(s.Axes); err != nil {
+			return nil, fmt.Errorf("coord: space spec: %w", err)
+		}
+	}
+	sp := explore.NewSpace(s.Benchmarks, axes...)
+	sp.Scale = scale
+	if s.DPUs > 0 {
+		sp.DPUs = s.DPUs
+	}
+	return sp, nil
+}
+
+// leaseRequest/leaseResponse/renewRequest are the lease protocol bodies.
+type leaseRequest struct {
+	Worker string `json:"worker"`
+}
+type leaseResponse struct {
+	// Unit is the granted work unit; nil with Done false means poll again.
+	Unit *WorkUnit `json:"unit,omitempty"`
+	Done bool      `json:"done"`
+}
+type renewRequest struct {
+	Lease string `json:"lease"`
+}
+
+// Server exposes a Coordinator and its space spec over HTTP:
+//
+//	GET  /v1/space     -> SpaceSpec
+//	POST /v1/lease     {"worker": "..."} -> {"unit": ..., "done": bool}
+//	POST /v1/renew     {"lease": "..."}  -> 204, or 409 on a stale lease
+//	POST /v1/complete  {"lease": "..."}  -> 204, or 409 on a stale lease
+//	GET  /v1/status    -> Status
+//
+// Stale-lease rejections map to 409 Conflict so clients can distinguish
+// "your lease is gone" (give up the shard) from transport failures (retry).
+// Compose it with an explore.StoreServer on one mux to serve both the lease
+// protocol and the result store from a single address.
+type Server struct {
+	c    *Coordinator
+	spec SpaceSpec
+	mux  *http.ServeMux
+}
+
+// NewServer serves coordination for one space.
+func NewServer(c *Coordinator, spec SpaceSpec) *Server {
+	s := &Server{c: c, spec: spec, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /v1/space", s.handleSpace)
+	s.mux.HandleFunc("POST /v1/lease", s.handleLease)
+	s.mux.HandleFunc("POST /v1/renew", s.handleRenew)
+	s.mux.HandleFunc("POST /v1/complete", s.handleComplete)
+	s.mux.HandleFunc("GET /v1/status", s.handleStatus)
+	return s
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Register attaches the coordination routes to an external mux (alongside,
+// e.g., an explore.StoreServer's routes).
+func (s *Server) Register(mux *http.ServeMux) {
+	mux.Handle("/v1/space", s)
+	mux.Handle("/v1/lease", s)
+	mux.Handle("/v1/renew", s)
+	mux.Handle("/v1/complete", s)
+	mux.Handle("/v1/status", s)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// decodeInto strictly decodes a small JSON request body.
+func decodeInto(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(io.LimitReader(r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		http.Error(w, "malformed request body: "+err.Error(), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleSpace(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.spec)
+}
+
+func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req leaseRequest
+	if !decodeInto(w, r, &req) {
+		return
+	}
+	if req.Worker == "" {
+		http.Error(w, "lease request names no worker", http.StatusBadRequest)
+		return
+	}
+	if u := s.c.Lease(req.Worker); u != nil {
+		writeJSON(w, leaseResponse{Unit: u})
+		return
+	}
+	writeJSON(w, leaseResponse{Done: s.c.Done()})
+}
+
+func (s *Server) handleRenew(w http.ResponseWriter, r *http.Request) {
+	s.handleLeaseOp(w, r, s.c.Renew)
+}
+
+func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
+	s.handleLeaseOp(w, r, s.c.Complete)
+}
+
+func (s *Server) handleLeaseOp(w http.ResponseWriter, r *http.Request, op func(string) error) {
+	var req renewRequest
+	if !decodeInto(w, r, &req) {
+		return
+	}
+	switch err := op(req.Lease); {
+	case err == nil:
+		w.WriteHeader(http.StatusNoContent)
+	case errors.Is(err, ErrLeaseLost), errors.Is(err, ErrUnknownLease):
+		http.Error(w, err.Error(), http.StatusConflict)
+	default:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.c.Snapshot())
+}
+
+// ClientOptions tune a coordination Client, mirroring explore.HTTPStoreOptions.
+type ClientOptions struct {
+	// Timeout bounds each HTTP call (default 30s).
+	Timeout time.Duration
+	// Retries is how many times a failed call is retried (default 3). Only
+	// transport errors and 5xx responses retry; 4xx responses — including the
+	// 409 stale-lease conflict — never do.
+	Retries int
+	// Backoff is the first retry delay, doubling per attempt (default 100ms).
+	Backoff time.Duration
+	// Client overrides the HTTP client (tests).
+	Client *http.Client
+}
+
+// Client speaks the lease protocol to a remote coordination Server. It
+// implements LeaseClient.
+type Client struct {
+	base    string
+	hc      *http.Client
+	timeout time.Duration
+	retries int
+	backoff time.Duration
+}
+
+// DialCoordinator prepares a lease-protocol client for baseURL (no I/O yet).
+func DialCoordinator(baseURL string, opts ClientOptions) (*Client, error) {
+	if !strings.HasPrefix(baseURL, "http://") && !strings.HasPrefix(baseURL, "https://") {
+		return nil, fmt.Errorf("coord: coordinator URL %q must start with http:// or https://", baseURL)
+	}
+	if opts.Timeout <= 0 {
+		opts.Timeout = 30 * time.Second
+	}
+	if opts.Retries == 0 {
+		opts.Retries = 3
+	}
+	if opts.Retries < 0 {
+		opts.Retries = 0
+	}
+	if opts.Backoff <= 0 {
+		opts.Backoff = 100 * time.Millisecond
+	}
+	hc := opts.Client
+	if hc == nil {
+		hc = &http.Client{}
+	}
+	return &Client{
+		base:    strings.TrimSuffix(baseURL, "/"),
+		hc:      hc,
+		timeout: opts.Timeout,
+		retries: opts.Retries,
+		backoff: opts.Backoff,
+	}, nil
+}
+
+// errConflict carries a 409 stale-lease response out of the retry loop.
+var errConflict = errors.New("coord: stale lease")
+
+// call runs one JSON round trip with retry/backoff. A nil out discards the
+// response body; status 204 decodes nothing.
+func (c *Client) call(method, path string, body, out any) error {
+	var payload []byte
+	if body != nil {
+		var err error
+		if payload, err = json.Marshal(body); err != nil {
+			return fmt.Errorf("coord: encoding %s body: %w", path, err)
+		}
+	}
+	var lastErr error
+	for attempt := 0; attempt <= c.retries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(c.backoff << (attempt - 1))
+		}
+		lastErr = c.once(method, path, payload, out)
+		if lastErr == nil || errors.Is(lastErr, errConflict) {
+			return lastErr
+		}
+		var st errHTTPStatus
+		if errors.As(lastErr, &st) && st >= 400 && st < 500 {
+			break // client errors are not transient
+		}
+	}
+	return lastErr
+}
+
+// errHTTPStatus is a non-2xx response status.
+type errHTTPStatus int
+
+func (e errHTTPStatus) Error() string { return fmt.Sprintf("coord: server returned %d", int(e)) }
+
+func (c *Client) once(method, path string, payload []byte, out any) error {
+	ctx, cancel := context.WithTimeout(context.Background(), c.timeout)
+	defer cancel()
+	var body io.Reader
+	if payload != nil {
+		body = bytes.NewReader(payload)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if payload != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+		_ = resp.Body.Close()
+	}()
+	switch {
+	case resp.StatusCode == http.StatusConflict:
+		return errConflict
+	case resp.StatusCode < 200 || resp.StatusCode >= 300:
+		return errHTTPStatus(resp.StatusCode)
+	}
+	if out == nil {
+		return nil
+	}
+	dec := json.NewDecoder(io.LimitReader(resp.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(out); err != nil {
+		return fmt.Errorf("coord: decoding %s response: %w", path, err)
+	}
+	return nil
+}
+
+// Spec fetches the served space spec.
+func (c *Client) Spec() (SpaceSpec, error) {
+	var spec SpaceSpec
+	if err := c.call(http.MethodGet, "/v1/space", nil, &spec); err != nil {
+		return SpaceSpec{}, err
+	}
+	return spec, nil
+}
+
+// Status fetches a coordination snapshot.
+func (c *Client) Status() (Status, error) {
+	var st Status
+	if err := c.call(http.MethodGet, "/v1/status", nil, &st); err != nil {
+		return Status{}, err
+	}
+	return st, nil
+}
+
+// Lease implements LeaseClient: it requests the next shard, re-validating
+// the unit on the way in (DecodeWorkUnit-strength checks — a worker never
+// trusts a wire unit).
+func (c *Client) Lease(worker string) (*WorkUnit, bool, error) {
+	var resp leaseResponse
+	if err := c.call(http.MethodPost, "/v1/lease", leaseRequest{Worker: worker}, &resp); err != nil {
+		return nil, false, err
+	}
+	if resp.Unit != nil {
+		if err := resp.Unit.Validate(); err != nil {
+			return nil, false, err
+		}
+	}
+	return resp.Unit, resp.Done, nil
+}
+
+// Renew implements LeaseClient. A 409 maps back to ErrLeaseLost.
+func (c *Client) Renew(lease string) error {
+	return c.leaseOp("/v1/renew", lease)
+}
+
+// Complete implements LeaseClient. A 409 maps back to ErrLeaseLost.
+func (c *Client) Complete(lease string) error {
+	return c.leaseOp("/v1/complete", lease)
+}
+
+func (c *Client) leaseOp(path, lease string) error {
+	err := c.call(http.MethodPost, path, renewRequest{Lease: lease}, nil)
+	if errors.Is(err, errConflict) {
+		return ErrLeaseLost
+	}
+	return err
+}
+
+// WorkOptions configure one remote worker process (pathfind work).
+type WorkOptions struct {
+	// Connect is the coordinator/store base URL (one server serves both).
+	Connect string
+	// Name identifies this worker in leases and events (default "worker").
+	Name string
+	// Heartbeat and Poll mirror Options; zero picks the same defaults.
+	Heartbeat time.Duration
+	Poll      time.Duration
+	// Watchdog overrides the served spec's watchdog when nonzero.
+	Watchdog uint64
+	// Events, when non-nil, receives this worker's JSONL events.
+	Events io.Writer
+	// Client tunes the lease and store HTTP clients.
+	Client ClientOptions
+}
+
+// Work runs one remote worker against a serving coordinator: fetch the space
+// spec, enumerate the same points locally, open the HTTP store at the same
+// address, and drain shards until the coordinator reports all work done.
+// Remote workers run exact-fidelity only — tiered band planning stays with
+// the in-process coordinator.
+func Work(ctx context.Context, opts WorkOptions) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	name := opts.Name
+	if name == "" {
+		name = "worker"
+	}
+	api, err := DialCoordinator(opts.Connect, opts.Client)
+	if err != nil {
+		return err
+	}
+	spec, err := api.Spec()
+	if err != nil {
+		return fmt.Errorf("coord: fetching space spec from %s: %w", opts.Connect, err)
+	}
+	space, err := spec.Space()
+	if err != nil {
+		return err
+	}
+	pts, err := space.Points()
+	if err != nil {
+		return err
+	}
+	store, err := explore.DialStore(opts.Connect, explore.HTTPStoreOptions{
+		Timeout: opts.Client.Timeout,
+		Retries: opts.Client.Retries,
+		Backoff: opts.Client.Backoff,
+		Client:  opts.Client.Client,
+	})
+	if err != nil {
+		return err
+	}
+	watchdog := spec.Watchdog
+	if opts.Watchdog != 0 {
+		watchdog = opts.Watchdog
+	}
+	poll := opts.Poll
+	if poll <= 0 {
+		poll = 100 * time.Millisecond
+	}
+	var log *Log
+	if opts.Events != nil {
+		log = NewLog(opts.Events)
+	}
+	w := &worker{
+		name:      name,
+		api:       api,
+		backend:   store,
+		eng:       engine.NewWithCache(1, prim.NewBuildCache()),
+		pts:       pts,
+		watchdog:  watchdog,
+		log:       log,
+		heartbeat: opts.Heartbeat,
+		poll:      poll,
+	}
+	return w.run(ctx)
+}

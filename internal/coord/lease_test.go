@@ -1,0 +1,208 @@
+package coord
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// fakeClock drives the coordinator deterministically in lease tests.
+type fakeClock struct{ t time.Time }
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+func (f *fakeClock) now() time.Time          { return f.t }
+func (f *fakeClock) advance(d time.Duration) { f.t = f.t.Add(d) }
+
+// leaseStep is one scripted operation against the coordinator. Granted
+// leases are recorded in order; renew/complete reference them by grant
+// index, so a step can act on a lease that has since been superseded.
+type leaseStep struct {
+	op      string        // "lease", "renew", "complete", "advance"
+	worker  string        // lease: requesting worker
+	grant   int           // renew/complete: index into recorded grants
+	d       time.Duration // advance: how far to move the clock
+	wantNil bool          // lease: expect no grant available
+	// wantShard/wantGen pin the granted shard identity (lease op; -1 = any).
+	wantShard, wantGen int
+	wantErr            error // renew/complete: exact sentinel wanted
+}
+
+func TestLeaseProtocol(t *testing.T) {
+	const ttl = 10 * time.Second
+	tests := []struct {
+		name   string
+		points int // 2 points per shard below
+		shard  int
+		steps  []leaseStep
+	}{
+		{
+			name: "grant_complete_lifecycle", points: 4, shard: 2,
+			steps: []leaseStep{
+				{op: "lease", worker: "w0", wantShard: 0, wantGen: 1},
+				{op: "lease", worker: "w1", wantShard: 1, wantGen: 1},
+				{op: "lease", worker: "w2", wantNil: true}, // all shards out
+				{op: "complete", grant: 0},
+				{op: "complete", grant: 1},
+			},
+		},
+		{
+			name: "expiry_reclaims_after_death", points: 2, shard: 2,
+			steps: []leaseStep{
+				{op: "lease", worker: "w0", wantShard: 0, wantGen: 1},
+				// w0 dies: no renewals. Just inside the TTL nothing moves...
+				{op: "advance", d: ttl - time.Millisecond},
+				{op: "lease", worker: "w1", wantNil: true},
+				// ...past it the shard is reclaimed and re-granted, fenced by a
+				// bumped generation.
+				{op: "advance", d: 2 * time.Millisecond},
+				{op: "lease", worker: "w1", wantShard: 0, wantGen: 2},
+				// The dead worker's lease is stale everywhere.
+				{op: "renew", grant: 0, wantErr: ErrLeaseLost},
+				{op: "complete", grant: 0, wantErr: ErrLeaseLost},
+				{op: "complete", grant: 1},
+			},
+		},
+		{
+			name: "double_claim_rejected", points: 2, shard: 2,
+			steps: []leaseStep{
+				{op: "lease", worker: "w0", wantShard: 0, wantGen: 1},
+				{op: "advance", d: ttl + time.Millisecond},
+				{op: "lease", worker: "w1", wantShard: 0, wantGen: 2},
+				// The new holder completes; the zombie's identical claim — and a
+				// repeat of the valid one — are both stale.
+				{op: "complete", grant: 1},
+				{op: "complete", grant: 0, wantErr: ErrLeaseLost},
+				{op: "complete", grant: 1, wantErr: ErrLeaseLost},
+			},
+		},
+		{
+			name: "heartbeat_renewal_ordering", points: 2, shard: 2,
+			steps: []leaseStep{
+				{op: "lease", worker: "w0", wantShard: 0, wantGen: 1},
+				// Each renewal restarts the TTL window: three renewals spaced
+				// just inside it keep the lease alive far past the original
+				// expiry...
+				{op: "advance", d: ttl - time.Second},
+				{op: "renew", grant: 0},
+				{op: "advance", d: ttl - time.Second},
+				{op: "renew", grant: 0},
+				{op: "advance", d: ttl - time.Second},
+				{op: "renew", grant: 0},
+				{op: "lease", worker: "w1", wantNil: true},
+				// ...but a renewal arriving after silence longer than the TTL is
+				// too late, even though earlier renewals were in order.
+				{op: "advance", d: ttl + time.Millisecond},
+				{op: "renew", grant: 0, wantErr: ErrLeaseLost},
+				{op: "lease", worker: "w1", wantShard: 0, wantGen: 2},
+				{op: "complete", grant: 1},
+			},
+		},
+		{
+			name: "reclaim_requeues_at_back", points: 6, shard: 2,
+			steps: []leaseStep{
+				{op: "lease", worker: "w0", wantShard: 0, wantGen: 1},
+				{op: "advance", d: ttl + time.Millisecond},
+				// Shard 0 expired and re-queued behind shards 1 and 2, so a
+				// draining worker sees the untouched work first.
+				{op: "lease", worker: "w1", wantShard: 1, wantGen: 1},
+				{op: "lease", worker: "w1", wantShard: 2, wantGen: 1},
+				{op: "lease", worker: "w1", wantShard: 0, wantGen: 2},
+			},
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			clk := newFakeClock()
+			c := NewCoordinator(tc.points, CoordinatorOptions{ShardSize: tc.shard, TTL: ttl, Now: clk.now})
+			var grants []*WorkUnit
+			for i, s := range tc.steps {
+				switch s.op {
+				case "advance":
+					clk.advance(s.d)
+				case "lease":
+					u := c.Lease(s.worker)
+					if s.wantNil {
+						if u != nil {
+							t.Fatalf("step %d: Lease(%s) granted %+v, want none available", i, s.worker, u)
+						}
+						continue
+					}
+					if u == nil {
+						t.Fatalf("step %d: Lease(%s) granted nothing", i, s.worker)
+					}
+					grants = append(grants, u)
+					if want := leaseID(s.wantShard, s.wantGen); u.Lease != want {
+						t.Fatalf("step %d: Lease(%s) = %s, want %s", i, s.worker, u.Lease, want)
+					}
+					if u.Validate() != nil {
+						t.Fatalf("step %d: granted unit fails validation: %v", i, u.Validate())
+					}
+				case "renew", "complete":
+					op, lease := c.Renew, grants[s.grant].Lease
+					if s.op == "complete" {
+						op = c.Complete
+					}
+					if err := op(lease); !errors.Is(err, s.wantErr) {
+						t.Fatalf("step %d: %s(%s) = %v, want %v", i, s.op, lease, err, s.wantErr)
+					}
+				default:
+					t.Fatalf("step %d: unknown op %q", i, s.op)
+				}
+			}
+		})
+	}
+}
+
+func TestLeaseGarbageRejected(t *testing.T) {
+	c := NewCoordinator(4, CoordinatorOptions{ShardSize: 2, TTL: time.Minute, Now: newFakeClock().now})
+	for _, lease := range []string{"", "s0.g0", "s-1.g1", "s99.g1", "junk", "s0g1", "s0.g1extra"} {
+		if err := c.Renew(lease); !errors.Is(err, ErrUnknownLease) {
+			t.Errorf("Renew(%q) = %v, want ErrUnknownLease", lease, err)
+		}
+		if err := c.Complete(lease); !errors.Is(err, ErrUnknownLease) {
+			t.Errorf("Complete(%q) = %v, want ErrUnknownLease", lease, err)
+		}
+	}
+	// A never-granted but well-formed lease for a real shard is equally dead:
+	// gen 1 only exists after the first grant.
+	if err := c.Renew("s0.g1"); !errors.Is(err, ErrLeaseLost) && !errors.Is(err, ErrUnknownLease) {
+		t.Errorf("Renew of a never-granted lease = %v, want a rejection", err)
+	}
+}
+
+func TestSnapshotAndDone(t *testing.T) {
+	clk := newFakeClock()
+	c := NewCoordinator(5, CoordinatorOptions{ShardSize: 2, TTL: time.Minute, Now: clk.now})
+	if st := c.Snapshot(); st.Shards != 3 || st.Pending != 3 || st.Points != 5 || st.AllDone {
+		t.Fatalf("fresh snapshot = %+v", st)
+	}
+	var leases []string
+	for {
+		u := c.Lease("w0")
+		if u == nil {
+			break
+		}
+		leases = append(leases, u.Lease)
+	}
+	if st := c.Snapshot(); st.Leased != 3 || st.Pending != 0 || st.AllDone {
+		t.Fatalf("all-leased snapshot = %+v", st)
+	}
+	for _, l := range leases {
+		if c.Done() {
+			t.Fatal("Done before every shard completed")
+		}
+		if err := c.Complete(l); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := c.Snapshot(); !st.AllDone || st.Done != 3 || !c.Done() {
+		t.Fatalf("final snapshot = %+v, Done = %v", c.Snapshot(), c.Done())
+	}
+	// The last shard covers the range remainder: 2+2+1 points.
+	u := NewCoordinator(5, CoordinatorOptions{ShardSize: 2, TTL: time.Minute, Now: clk.now}).Lease("w")
+	if u.Start != 0 || u.End != 2 || u.Total != 5 {
+		t.Fatalf("first shard = %+v", u)
+	}
+}

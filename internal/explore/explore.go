@@ -29,8 +29,11 @@ type Options struct {
 	// Watchdog bounds each point's per-DPU launch cycles (0 = host default).
 	// It is part of a point's store key, so changing it re-simulates.
 	Watchdog uint64
-	// Store persists finished points; nil disables persistence.
-	Store *Store
+	// Store persists finished points; nil disables persistence. Any Backend
+	// works: the local-dir Store, an HTTPStore talking to a `pathfind serve`
+	// store server, or a custom implementation passing the storetest
+	// conformance suite.
+	Store Backend
 	// Refresh ignores existing store entries (every point re-simulates) while
 	// still writing fresh ones — for explicitly re-validating a store after a
 	// simulator change without deleting it.
@@ -94,7 +97,7 @@ func (x *Exploration) FirstErr() error {
 // All methods are safe for concurrent use.
 type Explorer struct {
 	eng       *engine.Engine
-	store     *Store
+	store     Backend
 	watchdog  uint64
 	refresh   bool
 	onOutcome func(Outcome)
@@ -108,7 +111,7 @@ func New(opts Options) *Explorer {
 	}
 	return &Explorer{
 		eng:       engine.NewWithCache(opts.Parallelism, cache),
-		store:     opts.Store,
+		store:     resolveBackend(opts.Store),
 		watchdog:  opts.Watchdog,
 		refresh:   opts.Refresh,
 		onOutcome: opts.OnOutcome,

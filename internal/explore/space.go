@@ -64,6 +64,11 @@ func (s *Space) Constrain(keep func(Point) bool) *Space {
 	return s
 }
 
+// Constrained reports whether user constraints were added via Constrain.
+// Constraints are functions and cannot serialize, so a constrained space
+// cannot be described to remote workers by a wire spec.
+func (s *Space) Constrained() bool { return len(s.keep) > 0 }
+
 // Size returns the unconstrained point count (benchmarks times the product
 // of axis level counts); Points may return fewer after constraints.
 func (s *Space) Size() int {

@@ -264,6 +264,21 @@ func (s *Store) write(key string, e entry) error {
 	return nil
 }
 
+// CorruptEntry overwrites the on-disk entry for key with undecodable bytes —
+// fault-injection support (coord.FaultPlan, the storetest conformance suite)
+// for proving that damaged entries degrade to re-simulation. It fails when
+// the key has no entry to corrupt.
+func (s *Store) CorruptEntry(key string) error {
+	path := s.path(key)
+	if _, err := os.Stat(path); err != nil {
+		return fmt.Errorf("explore: corrupting %s: %w", key, err)
+	}
+	if err := os.WriteFile(path, []byte("{corrupted by fault injection"), 0o644); err != nil {
+		return fmt.Errorf("explore: corrupting %s: %w", key, err)
+	}
+	return nil
+}
+
 // Count walks the store and returns how many entries it holds on disk (all
 // processes' contributions, not just this one's).
 func (s *Store) Count() (int, error) {

@@ -260,6 +260,38 @@ func (e *Explorer) ExploreTiered(ctx context.Context, space *Space, topts Tiered
 	return x, tri, x.FirstErr()
 }
 
+// BandPlan is the full deterministic tier-A plan of a space: every point,
+// its estimate (nil where unestimable), its band membership, and the triage
+// counts, index-aligned with Space.Points(). The plan is a pure function of
+// (space, calibration, goals, slack) — never of store contents — which is
+// what lets a coordinator and each of its workers derive the identical plan
+// independently and still agree on every point's fidelity.
+type BandPlan struct {
+	Points    []Point
+	Estimates []*estimate.Estimate
+	// InBand marks the points that must simulate cycle-exactly; the rest
+	// resolve from Estimates (out-of-band points always have a non-nil
+	// estimate — unestimable points are forced into the band).
+	InBand []bool
+	Triage *Triage
+	// Options are the resolved tiered options the plan was computed under.
+	Options TieredOptions
+}
+
+// PlanBand computes the tier-A plan without simulating or touching a store.
+func PlanBand(space *Space, topts TieredOptions) (*BandPlan, error) {
+	topts, err := resolveTiered(topts)
+	if err != nil {
+		return nil, err
+	}
+	pts, err := space.Points()
+	if err != nil {
+		return nil, err
+	}
+	ests, inBand, tri := triage(pts, topts)
+	return &BandPlan{Points: pts, Estimates: ests, InBand: inBand, Triage: tri, Options: topts}, nil
+}
+
 // PlanTiered performs tier-A triage only — no simulation, no store access —
 // and returns the predicted estimate/simulate split for the space. This is
 // the `pathfind -plan -tier2` guard against launching week-long sweeps.

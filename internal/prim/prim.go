@@ -61,6 +61,22 @@ func (s Scale) String() string {
 	}
 }
 
+// ParseScale is the inverse of Scale.String: it maps "tiny", "small" or
+// "paper" back to the scale constant — the wire form the coordinator's space
+// spec and the CLIs share.
+func ParseScale(s string) (Scale, error) {
+	switch s {
+	case "tiny":
+		return ScaleTiny, nil
+	case "small":
+		return ScaleSmall, nil
+	case "paper":
+		return ScalePaper, nil
+	default:
+		return 0, fmt.Errorf("prim: unknown scale %q (want tiny, small or paper)", s)
+	}
+}
+
 // Params carries per-benchmark dataset knobs. Meaning varies by benchmark;
 // N is always the primary element count.
 type Params struct {
