@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-race race cover bench fmt vet report refdata pathfind-smoke coord-smoke energy-check calibration-check
+.PHONY: build test test-race race cover bench bench-diff fmt vet report refdata pathfind-smoke coord-smoke energy-check calibration-check
 
 build:
 	$(GO) build ./...
@@ -51,11 +51,20 @@ energy-check:
 calibration-check:
 	$(GO) run ./cmd/pathfind calibrate -check
 
-# bench runs the figure benchmark suite and writes BENCH_6.json (ns/op plus
+# bench runs the figure benchmark suite and writes BENCH_8.json (ns/op plus
 # the headline figure metrics, machine-readable). Tune with BENCHTIME=1x for
 # a smoke run or BENCH=Fig12 for a subset.
 bench:
 	BENCHTIME=$(BENCHTIME) BENCH=$(BENCH) OUT=$(OUT) ./scripts/bench.sh
+
+# bench-diff mirrors the CI bench job's regression check: re-run the suite
+# at the baseline's benchtime (1s default, so allocs/op amortizes cold
+# starts the same way the baseline did) and print per-benchmark deltas
+# against the committed BENCH_8.json baseline, failing on allocs/op
+# regressions in the gated (Table1/Table2) benchmarks. DIFFOUT=deltas.txt
+# also saves the table; BENCHTIME=2s steadies ns/op.
+bench-diff:
+	BENCHTIME=$(BENCHTIME) BENCH=$(BENCH) BASELINE=$(BASELINE) DIFFOUT=$(DIFFOUT) ./scripts/bench_diff.sh
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi

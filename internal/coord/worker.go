@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"upim/internal/core"
 	"upim/internal/engine"
 	"upim/internal/explore"
 )
@@ -53,6 +54,11 @@ type worker struct {
 	heartbeat time.Duration // 0: TTL/3 from each unit
 	poll      time.Duration
 	track     *tracker
+	// arena recycles DPU shells across this worker's points. The worker loop
+	// is single-goroutine (one point at a time), satisfying the arena's
+	// single-owner rule; it survives shard boundaries and incarnations reuse
+	// a fresh one.
+	arena *core.Arena
 }
 
 // run is the worker main loop. It returns nil when the coordinator reports
@@ -205,7 +211,10 @@ func (w *worker) point(ctx context.Context, u *WorkUnit, i int) {
 		w.track.record(explore.Outcome{Point: p, Index: i, Key: key, Result: res, Cached: true, Fidelity: explore.FidelityExact})
 		return
 	}
-	res, err := w.eng.Run(ctx, ep)
+	if w.arena == nil {
+		w.arena = core.NewArena()
+	}
+	res, err := w.eng.RunInArena(ctx, ep, w.arena)
 	o := explore.Outcome{Point: p, Index: i, Key: key, Result: res}
 	if err == nil && res != nil {
 		err = w.backend.Put(key, ep, res)

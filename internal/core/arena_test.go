@@ -1,0 +1,110 @@
+package core
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"upim/internal/config"
+	"upim/internal/linker"
+	"upim/internal/mem"
+)
+
+// runArena links obj, builds a DPU from the arena, runs it, and returns its
+// full statistics record (a value copy, safe past Release).
+func runArena(t *testing.T, a *Arena, obj *linker.Object, cfg config.Config, setup func(*DPU)) (statsCopy interface{}, cycles uint64) {
+	t.Helper()
+	prog, err := linker.Link(obj, cfg)
+	if err != nil {
+		t.Fatalf("Link: %v", err)
+	}
+	d, err := NewInArena(a, 0, prog, cfg)
+	if err != nil {
+		t.Fatalf("NewInArena: %v", err)
+	}
+	if setup != nil {
+		setup(d)
+	}
+	if err := d.Run(context.Background(), testWatchdog); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	st := *d.Stats()
+	cy := d.Cycles()
+	d.Release()
+	return st, cy
+}
+
+// TestArenaRecycledShellBitIdentical runs the same kernel on a fresh DPU and
+// on an arena shell recycled through many reuses (including across different
+// kernels and configurations), requiring bit-identical statistics every time.
+func TestArenaRecycledShellBitIdentical(t *testing.T) {
+	cfg := config.Default()
+	cfg.NumTasklets = 16
+
+	fresh, freshCycles := runArena(t, nil, counterKernel(), cfg, nil)
+
+	a := NewArena()
+	// Dirty the shell with different shapes first: another kernel, another
+	// thread count, a DMA-heavy kernel, the cache mode.
+	other := cfg
+	other.NumTasklets = 4
+	runArena(t, a, loopKernel(64), other, nil)
+	dmaSetup := func(d *DPU) { writeArgs(t, d, mem.MRAMBase) }
+	runArena(t, a, dmaKernel(8), cfg, dmaSetup)
+	ccfg := config.Default()
+	ccfg.Mode = config.ModeCache
+	ccfg.NumTasklets = 8
+	runArena(t, a, counterKernel(), ccfg, nil)
+
+	for i := 0; i < 100; i++ {
+		got, gotCycles := runArena(t, a, counterKernel(), cfg, nil)
+		if gotCycles != freshCycles {
+			t.Fatalf("reuse %d: %d cycles, fresh ran %d", i, gotCycles, freshCycles)
+		}
+		if !reflect.DeepEqual(got, fresh) {
+			t.Fatalf("reuse %d: statistics diverge from a fresh DPU\n got: %+v\nwant: %+v", i, got, fresh)
+		}
+	}
+	if a.Size() != 1 {
+		t.Fatalf("arena holds %d shells, want the 1 released one", a.Size())
+	}
+}
+
+// TestArenaReleaseIdempotent checks Release's contract: a second Release (or
+// one on a plainly-allocated DPU) is a no-op, and a released shell is handed
+// back out by the next NewInArena.
+func TestArenaReleaseIdempotent(t *testing.T) {
+	cfg := config.Default()
+	cfg.NumTasklets = 2
+	prog, err := linker.Link(counterKernel(), cfg)
+	if err != nil {
+		t.Fatalf("Link: %v", err)
+	}
+
+	plain, err := New(0, prog, cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	plain.Release() // no arena: must be a no-op
+
+	a := NewArena()
+	d, err := NewInArena(a, 0, prog, cfg)
+	if err != nil {
+		t.Fatalf("NewInArena: %v", err)
+	}
+	d.Release()
+	d.Release()
+	if a.Size() != 1 {
+		t.Fatalf("double Release grew the arena to %d shells", a.Size())
+	}
+	d2, err := NewInArena(a, 0, prog, cfg)
+	if err != nil {
+		t.Fatalf("NewInArena (recycled): %v", err)
+	}
+	if d2 != d {
+		t.Fatal("recycled NewInArena did not reuse the released shell")
+	}
+	if a.Size() != 0 {
+		t.Fatalf("arena still holds %d shells while one is checked out", a.Size())
+	}
+}

@@ -178,6 +178,119 @@ func (q *eventQueue) pop() schedEvent {
 	return top
 }
 
+// wheelSlots is the timing wheel's horizon in cycles. The dominant timer
+// pattern — revolver re-issue at +11 cycles, cache-fill and short DMA wakes —
+// lands within it; rarer far wakes (link-saturated DMA trains) overflow to a
+// binary heap.
+const wheelSlots = 64
+
+// schedQueue is the scheduler's timer queue: a 64-slot timing wheel over the
+// next wheelSlots cycles plus an overflow min-heap. It replaces a pure binary
+// heap on the issue hot path: push is an append plus a bit set, and the next
+// event time is one rotate+tzcnt — the heap's sift costs only apply to far
+// timers. Events drain in (cycle, id) order exactly like the heap did: one
+// wheel bucket holds exactly one distinct cycle (window invariant: all
+// pending times lie in [base, base+wheelSlots) for wheel entries), and
+// drainAt merges bucket and overflow entries for the cycle, sorted by id.
+type schedQueue struct {
+	base     uint64 // all pending events have time >= base
+	occ      uint64 // bit (t & 63) set => bucket for time t non-empty
+	bucketAt [wheelSlots]uint64
+	// Bucket slices are kept at full capacity with the live prefix tracked in
+	// bucketLen, so push and drain are pure integer stores — assigning a
+	// slice header on every event would cost a GC write barrier each time.
+	buckets   [wheelSlots][]int32
+	bucketLen [wheelSlots]int32
+	overflow  eventQueue
+	due       []int32 // drainAt merge scratch, reused
+}
+
+// reset empties the queue and re-anchors the window at `base`, keeping all
+// bucket capacity (arena reuse).
+func (q *schedQueue) reset(base uint64) {
+	q.base = base
+	q.occ = 0
+	for i := range q.bucketLen {
+		q.bucketLen[i] = 0
+	}
+	q.overflow = q.overflow[:0]
+}
+
+// push arms a timer: reconsider thread/warp id at cycle `at` (>= base).
+func (q *schedQueue) push(at uint64, id int32) {
+	if at-q.base < wheelSlots {
+		s := at & (wheelSlots - 1)
+		n := int(q.bucketLen[s])
+		if b := q.buckets[s]; n < len(b) {
+			b[n] = id
+		} else {
+			b = append(b[:n], id)
+			q.buckets[s] = b[:cap(b)]
+		}
+		q.bucketLen[s] = int32(n + 1)
+		q.bucketAt[s] = at
+		q.occ |= 1 << s
+		return
+	}
+	q.overflow.push(at, id)
+}
+
+// empty reports whether no timers are armed.
+func (q *schedQueue) empty() bool { return q.occ == 0 && len(q.overflow) == 0 }
+
+// nextAt returns the earliest armed timer's cycle.
+func (q *schedQueue) nextAt() (uint64, bool) {
+	at := uint64(neverWake)
+	if q.occ != 0 {
+		rot := bits.RotateLeft64(q.occ, -int(q.base&(wheelSlots-1)))
+		at = q.base + uint64(bits.TrailingZeros64(rot))
+	}
+	if len(q.overflow) > 0 && q.overflow[0].at < at {
+		at = q.overflow[0].at
+	}
+	return at, at != neverWake
+}
+
+// drainAt removes and returns every id armed for exactly cycle `at`, in
+// ascending id order (the refdata oracle's same-cycle processing order). The
+// returned slice is scratch owned by q, valid until the next drainAt.
+func (q *schedQueue) drainAt(at uint64) []int32 {
+	var due []int32
+	s := at & (wheelSlots - 1)
+	if q.occ&(1<<s) != 0 && q.bucketAt[s] == at {
+		// Alias the bucket's live prefix directly: a push while the caller
+		// processes cycle `at` is always strictly future, and the window
+		// invariant keeps any future time for this slot out of the wheel, so
+		// nothing appends to this bucket before the next drainAt.
+		due = q.buckets[s][:q.bucketLen[s]]
+		q.bucketLen[s] = 0
+		q.occ &^= 1 << s
+	}
+	if len(q.overflow) > 0 && q.overflow[0].at == at {
+		merged := append(q.due[:0], due...)
+		for len(q.overflow) > 0 && q.overflow[0].at == at {
+			merged = append(merged, q.overflow.pop().id)
+		}
+		q.due = merged
+		due = merged
+	}
+	// Insertion sort: the bucket almost always holds one entry.
+	for i := 1; i < len(due); i++ {
+		for j := i; j > 0 && due[j] < due[j-1]; j-- {
+			due[j], due[j-1] = due[j-1], due[j]
+		}
+	}
+	return due
+}
+
+// advanceTo slides the window start forward to `base` (monotone). Callers
+// advance it only after draining every event below it.
+func (q *schedQueue) advanceTo(base uint64) {
+	if base > q.base {
+		q.base = base
+	}
+}
+
 // bitset tracks the issuable thread (or warp) set; nextFrom implements the
 // round-robin pick in O(words) instead of a per-thread scan.
 type bitset struct {
@@ -241,16 +354,19 @@ type DPU struct {
 	icache *cache.Cache
 	dcache *cache.Cache
 
-	threads []*thread
-	cycle   uint64
-	tpc     Tick // ticks per DPU cycle
+	// threads point into threadSlab, a value slab reused across arena
+	// reinits; the slab is only resized before any pointers are taken.
+	threads    []*thread
+	threadSlab []thread
+	cycle      uint64
+	tpc        Tick // ticks per DPU cycle
 
 	// fwdLat holds the forwarding latencies indexed by µop latency selector.
 	fwdLat [numLatSels]uint64
 
 	// Event-driven scheduler state. In scalar modes the counters and the
 	// issuable set are over threads; in SIMT mode, over warps.
-	evq       eventQueue
+	sched     schedQueue
 	issuable  bitset
 	issuableN int // members of the issuable set
 	aliveN    int // non-stopped threads (warps with live lanes)
@@ -263,17 +379,19 @@ type DPU struct {
 	rfDebt int
 	rr     int // round-robin scan start
 
-	// DMA/fill completion routing: a slab of completion callbacks indexed by
-	// burst tag, with freed slots recycled through a free list — no hashing
-	// or per-burst map churn on the DMA hot path.
-	sinks     []func(Tick)
+	// DMA/fill completion routing: a slab of typed sink records indexed by
+	// burst tag, with freed slots recycled through a free list — no hashing,
+	// closures or per-burst map churn on the DMA hot path. Completions are
+	// drained from the bank into compBuf and dispatched by a kind switch.
+	sinks     []sinkRec
 	freeSinks []uint64
-	// onBurstFn is the bank completion callback, bound once (a method value
-	// allocates on every use).
-	onBurstFn dram.CompletionFunc
-	// eagerFn/eagerDone service enqueueEager's synchronous drains without a
-	// per-call closure.
-	eagerFn   func(Tick)
+	// xfers is the slab of in-flight multi-burst transfers (DMA and SIMT
+	// vector memory) sink records point into.
+	xfers     []xfer
+	freeXfers []int32
+	compBuf   []dram.Completion
+	// eagerDone holds the completion tick of the last eager burst
+	// (enqueueEager's synchronous drains).
 	eagerDone Tick
 	// dmaBuf is the reusable staging buffer for DMA functional copies.
 	dmaBuf []byte
@@ -281,61 +399,143 @@ type DPU struct {
 	vecBursts []uint32
 	vecSeen   map[uint32]bool
 
-	// SIMT state (built lazily when Mode == ModeSIMT).
-	warps []*warp
+	// SIMT state (built lazily when Mode == ModeSIMT); warps point into
+	// warpSlab, reused like threadSlab.
+	warps    []*warp
+	warpSlab []warp
 
 	st    stats.DPU
 	trace []IssueEvent
 
 	faultErr error
+
+	// arena is the owning Arena, nil for standalone DPUs; set by NewInArena
+	// and cleared by Release.
+	arena *Arena
+}
+
+// sinkKind selects how a burst completion is routed (see dispatch). Typed
+// records replace per-transfer closures: dispatch is a switch over a tiny
+// struct instead of an indirect call through a captured environment.
+type sinkKind uint8
+
+const (
+	sinkNone   sinkKind = iota
+	sinkEager           // synchronous fill/PTE-walk: record the tick
+	sinkDMA             // scratchpad DMA: cross the link, wake the tasklet
+	sinkVector          // SIMT vector memory: wake the warp
+)
+
+// sinkRec routes one burst completion: the kind plus the xfer slot it
+// belongs to (unused for sinkEager).
+type sinkRec struct {
+	kind sinkKind
+	xfer int32
+}
+
+// xfer tracks one in-flight multi-burst transfer. owner is the tasklet id
+// (sinkDMA) or warp id (sinkVector).
+type xfer struct {
+	owner     int32
+	remaining int32
+	lastDone  Tick
+}
+
+// allocXfer takes a transfer slot from the free list or grows the slab.
+func (d *DPU) allocXfer(owner int32, remaining int32) int32 {
+	if n := len(d.freeXfers); n > 0 {
+		xi := d.freeXfers[n-1]
+		d.freeXfers = d.freeXfers[:n-1]
+		d.xfers[xi] = xfer{owner: owner, remaining: remaining}
+		return xi
+	}
+	d.xfers = append(d.xfers, xfer{owner: owner, remaining: remaining})
+	return int32(len(d.xfers) - 1)
 }
 
 // New builds a DPU executing prog under cfg. The program must have been
 // linked for the same mode.
 func New(id int, prog *linker.Program, cfg config.Config) (*DPU, error) {
-	if err := cfg.Validate(); err != nil {
+	d := &DPU{}
+	if err := d.reinit(id, prog, cfg); err != nil {
 		return nil, err
 	}
+	return d, nil
+}
+
+// reinit (re)initializes a DPU shell in place for a new run, reusing every
+// backing allocation the shell already owns — the thread and warp slabs, the
+// scheduler queue and bitset, the sink/xfer slabs, the memories and the bank
+// — so an arena-recycled DPU allocates nothing in steady state. Fresh DPUs
+// (New) and recycled ones (NewInArena) share this single code path, which is
+// what makes "a reset DPU is bit-identical to a fresh one" checkable.
+func (d *DPU) reinit(id int, prog *linker.Program, cfg config.Config) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
 	if prog.Mode != cfg.Mode {
-		return nil, fmt.Errorf("core: program %q linked for %v but DPU configured for %v",
+		return fmt.Errorf("core: program %q linked for %v but DPU configured for %v",
 			prog.Name, prog.Mode, cfg.Mode)
 	}
-	d := &DPU{
-		cfg:    cfg,
-		id:     id,
-		prog:   prog,
-		uops:   uopsFor(prog),
-		wram:   mem.NewWRAM(cfg.WRAMBytes),
-		mram:   mem.NewMRAM(cfg.MRAMBytes),
-		atomic: mem.NewAtomic(cfg.AtomicLocks),
-		tpc:    cfg.DPUTicksPerCycle(),
-		fwdLat: [numLatSels]uint64{
-			latALU:    uint64(cfg.FwdLatALU),
-			latMulDiv: uint64(cfg.FwdLatMulDiv),
-			latLoad:   uint64(cfg.FwdLatLoad),
-		},
+	d.cfg = cfg
+	d.id = id
+	d.prog = prog
+	d.uops = uopsFor(prog)
+	d.tpc = cfg.DPUTicksPerCycle()
+	d.fwdLat = [numLatSels]uint64{
+		latALU:    uint64(cfg.FwdLatALU),
+		latMulDiv: uint64(cfg.FwdLatMulDiv),
+		latLoad:   uint64(cfg.FwdLatLoad),
 	}
-	d.onBurstFn = d.onBurst
-	d.eagerFn = func(at Tick) { d.eagerDone = at }
-	d.bank = dram.NewBank(cfg, &d.st.DRAM)
-	d.link = dram.NewLink(cfg)
+	d.cycle = 0
+	d.rfDebt, d.rr = 0, 0
+	d.faultErr = nil
+	d.eagerDone = 0
+	// Timeline and trace escape through Stats()/Trace() value copies, so
+	// their backing arrays must not be reused across runs; zeroing the whole
+	// record drops them (see ARCHITECTURE.md "Memory discipline").
+	d.st = stats.DPU{}
+	d.trace = nil
+	d.sinks = d.sinks[:0]
+	d.freeSinks = d.freeSinks[:0]
+	d.xfers = d.xfers[:0]
+	d.freeXfers = d.freeXfers[:0]
+	d.compBuf = d.compBuf[:0]
+	d.vecBursts = d.vecBursts[:0]
+
+	if d.wram == nil {
+		d.wram = mem.NewWRAM(cfg.WRAMBytes)
+		d.mram = mem.NewMRAM(cfg.MRAMBytes)
+		d.atomic = mem.NewAtomic(cfg.AtomicLocks)
+		d.bank = dram.NewBank(cfg, &d.st.DRAM)
+		d.link = dram.NewLink(cfg)
+	} else {
+		d.wram.Reset(cfg.WRAMBytes)
+		d.mram.Reset(cfg.MRAMBytes)
+		d.atomic.Reset(cfg.AtomicLocks)
+		d.bank.Reset(cfg, &d.st.DRAM)
+		d.link.Reset(cfg)
+	}
+	// The MMU and caches are small and config-shaped; rebuild them fresh.
+	d.mmu = nil
 	if cfg.MMU.Enable {
 		d.mmu = mmu.New(cfg.MMU, (*ptWalker)(d), &d.st.MMU)
 	}
+	d.icache, d.dcache = nil, nil
 	if cfg.Mode == config.ModeCache {
 		var err error
 		if d.icache, err = cache.New(cfg.ICache, (*fillBackend)(d), &d.st.ICache); err != nil {
-			return nil, err
+			return err
 		}
 		if d.dcache, err = cache.New(cfg.DCache, (*fillBackend)(d), &d.st.DCache); err != nil {
-			return nil, err
+			return err
 		}
 	}
 	if err := d.load(); err != nil {
-		return nil, err
+		return err
 	}
 	d.resetThreads()
-	return d, nil
+	return nil
 }
 
 // load copies the program's initialized static segments into their linked
@@ -367,9 +567,16 @@ func (d *DPU) load() error {
 // census did — including cache-mode initial I-fetches in thread order.
 func (d *DPU) resetThreads() {
 	n := d.cfg.NumTasklets
-	d.threads = make([]*thread, n)
+	if cap(d.threadSlab) < n {
+		d.threadSlab = make([]thread, n)
+		d.threads = make([]*thread, n)
+	} else {
+		d.threadSlab = d.threadSlab[:n]
+		d.threads = d.threads[:n]
+	}
 	for i := 0; i < n; i++ {
-		t := &thread{id: i, fetchPC: -1}
+		t := &d.threadSlab[i]
+		*t = thread{id: i, fetchPC: -1}
 		// ABI: r22 = stack pointer (per-tasklet stack carved from the top of
 		// WRAM), r23 = link register.
 		t.regs[22] = uint32(d.cfg.WRAMBytes - i*d.cfg.StackBytes)
@@ -379,11 +586,11 @@ func (d *DPU) resetThreads() {
 		d.buildWarps()
 		return
 	}
-	d.evq = d.evq[:0]
+	d.sched.reset(d.cycle)
 	d.issuable.reset(n)
 	d.aliveN, d.blockedN, d.issuableN = n, 0, 0
 	for i := 0; i < n; i++ {
-		d.evq.push(d.cycle, int32(i))
+		d.sched.push(d.cycle, int32(i))
 	}
 }
 
@@ -464,7 +671,7 @@ func (d *DPU) Run(ctx context.Context, maxCycles uint64) error {
 		now := d.nowTick()
 		if d.bank.Pending() > 0 {
 			if at, ok := d.bank.NextDecisionAt(); ok && at <= now {
-				d.bank.Advance(now, d.onBurstFn)
+				d.advanceBank(now)
 			}
 		}
 		d.processDue()
@@ -516,27 +723,33 @@ func (d *DPU) Run(ctx context.Context, maxCycles uint64) error {
 // per-cycle wakeThreads/census scans: each thread is touched only when its
 // own state can change.
 func (d *DPU) processDue() {
-	for len(d.evq) > 0 && d.evq[0].at <= d.cycle {
-		id := d.evq.pop().id
-		t := d.threads[id]
-		switch t.state {
-		case threadStopped:
-			// Stale timer of a stopped thread; drop it.
-		case threadBlocked:
-			if t.wakeAt == neverWake {
-				continue // superseded; the completion sink re-arms the timer
+	for {
+		at, ok := d.sched.nextAt()
+		if !ok || at > d.cycle {
+			break
+		}
+		for _, id := range d.sched.drainAt(at) {
+			t := d.threads[id]
+			switch t.state {
+			case threadStopped:
+				// Stale timer of a stopped thread; drop it.
+			case threadBlocked:
+				if t.wakeAt == neverWake {
+					continue // superseded; the completion sink re-arms the timer
+				}
+				if t.wakeAt > d.cycle {
+					d.sched.push(t.wakeAt, id) // stall was extended; re-arm
+					continue
+				}
+				t.state = threadRunning
+				d.blockedN--
+				d.admit(t)
+			default:
+				d.admit(t)
 			}
-			if t.wakeAt > d.cycle {
-				d.evq.push(t.wakeAt, id) // stall was extended; re-arm
-				continue
-			}
-			t.state = threadRunning
-			d.blockedN--
-			d.admit(t)
-		default:
-			d.admit(t)
 		}
 	}
+	d.sched.advanceTo(d.cycle + 1)
 }
 
 // admit classifies a running thread at the current cycle: it services a
@@ -552,12 +765,12 @@ func (d *DPU) admit(t *thread) {
 			t.state = threadBlocked
 			t.wakeAt = t.fetchReady
 			d.blockedN++
-			d.evq.push(t.wakeAt, int32(t.id))
+			d.sched.push(t.wakeAt, int32(t.id))
 			return
 		}
 	}
 	if at := d.readyAt(t); at > d.cycle {
-		d.evq.push(at, int32(t.id))
+		d.sched.push(at, int32(t.id))
 		return
 	}
 	d.issuable.set(t.id)
@@ -585,10 +798,10 @@ func (d *DPU) readyAt(t *thread) uint64 {
 // census used to see it); otherwise the thread sleeps until its ready time.
 func (d *DPU) scheduleAfterIssue(t *thread) {
 	if d.icache != nil && t.fetchPC != int(t.pc) {
-		d.evq.push(d.cycle+1, int32(t.id))
+		d.sched.push(d.cycle+1, int32(t.id))
 		return
 	}
-	d.evq.push(d.readyAt(t), int32(t.id))
+	d.sched.push(d.readyAt(t), int32(t.id))
 }
 
 // issueOne picks the next issuable thread round-robin and executes one
@@ -622,10 +835,7 @@ func (d *DPU) issueOne() bool {
 // scheduler timer, the bank's next decision, or the deadline — bulk-
 // accounting the skipped idle cycles.
 func (d *DPU) fastForward(deadline uint64, memN, revN int) {
-	next := uint64(neverWake)
-	if len(d.evq) > 0 {
-		next = d.evq[0].at
-	}
+	next, _ := d.sched.nextAt()
 	if at, ok := d.bank.NextDecisionAt(); ok {
 		if c := d.cycleOf(at); c < next {
 			next = c
@@ -653,7 +863,7 @@ func (d *DPU) fastForward(deadline uint64, memN, revN int) {
 // (so byte accounting is end-to-end), and freezes counters.
 func (d *DPU) finish() {
 	if d.bank.Pending() > 0 {
-		d.bank.Advance(^Tick(0), d.onBurstFn)
+		d.advanceBank(^Tick(0))
 	}
 	if d.dcache != nil {
 		d.dcache.FlushDirty(d.nowTick())
@@ -690,41 +900,86 @@ func (d *DPU) iramBacking(pc uint16) uint32 {
 // (top-1MB) so the three reserved regions never collide.
 func (d *DPU) ptBase() uint32 { return uint32(d.cfg.MRAMBytes - 3<<20) }
 
-// addSink registers a burst completion callback and returns its tag,
+// addSink registers a burst completion record and returns its tag,
 // recycling freed slab slots.
-func (d *DPU) addSink(f func(Tick)) uint64 {
+func (d *DPU) addSink(s sinkRec) uint64 {
 	if n := len(d.freeSinks); n > 0 {
 		tag := d.freeSinks[n-1]
 		d.freeSinks = d.freeSinks[:n-1]
-		d.sinks[tag] = f
+		d.sinks[tag] = s
 		return tag
 	}
-	d.sinks = append(d.sinks, f)
+	d.sinks = append(d.sinks, s)
 	return uint64(len(d.sinks) - 1)
+}
+
+// advanceBank drains the bank's scheduling decisions up to now and dispatches
+// each completion to its sink, in scheduling order. Dispatching after the
+// drain (instead of during, as a callback would) is behavior-preserving:
+// sinks never enqueue bursts or touch bank state, and the link reservations
+// they make depend only on the completion order, which is preserved.
+func (d *DPU) advanceBank(now Tick) {
+	d.compBuf = d.bank.Advance(now, d.compBuf[:0])
+	for _, c := range d.compBuf {
+		d.dispatch(c.Tag, c.CompleteAt)
+	}
 }
 
 // enqueueEager enqueues a burst and resolves it synchronously via an
 // immediate full drain (used for cache fills and PTE walks, which need a
 // completion time at call time).
 func (d *DPU) enqueueEager(addr uint32, write bool, now Tick) Tick {
-	tag := d.addSink(d.eagerFn)
+	tag := d.addSink(sinkRec{kind: sinkEager})
 	d.bank.Enqueue(addr, write, now, tag)
-	d.bank.Advance(^Tick(0), d.onBurstFn)
+	d.advanceBank(^Tick(0))
 	return d.eagerDone
 }
 
 func (d *DPU) runEager() {
 	if d.bank.Pending() > 0 {
-		d.bank.Advance(^Tick(0), d.onBurstFn)
+		d.advanceBank(^Tick(0))
 	}
 }
 
-func (d *DPU) onBurst(tag uint64, completeAt Tick) {
-	sink := d.sinks[tag]
-	d.sinks[tag] = nil
+// dispatch routes one burst completion by sink kind: eager drains record the
+// tick; DMA bursts cross the MRAM<->WRAM link and wake their tasklet when the
+// transfer's last burst clears it; vector bursts wake their warp.
+func (d *DPU) dispatch(tag uint64, completeAt Tick) {
+	s := d.sinks[tag]
+	d.sinks[tag] = sinkRec{}
 	d.freeSinks = append(d.freeSinks, tag)
-	if sink != nil {
-		sink(completeAt)
+	switch s.kind {
+	case sinkEager:
+		d.eagerDone = completeAt
+	case sinkDMA:
+		x := &d.xfers[s.xfer]
+		done := d.link.Reserve(completeAt, d.cfg.BurstBytes)
+		if done > x.lastDone {
+			x.lastDone = done
+		}
+		x.remaining--
+		if x.remaining == 0 {
+			t := d.threads[x.owner]
+			t.wakeAt = d.cycleOf(x.lastDone) + 1
+			if t.state == threadBlocked {
+				d.sched.push(t.wakeAt, int32(t.id))
+			}
+			d.freeXfers = append(d.freeXfers, s.xfer)
+		}
+	case sinkVector:
+		x := &d.xfers[s.xfer]
+		if completeAt > x.lastDone {
+			x.lastDone = completeAt
+		}
+		x.remaining--
+		if x.remaining == 0 {
+			w := d.warps[x.owner]
+			w.wakeAt = d.cycleOf(x.lastDone) + 1
+			if w.blocked {
+				d.sched.push(w.wakeAt, int32(w.id))
+			}
+			d.freeXfers = append(d.freeXfers, s.xfer)
+		}
 	}
 }
 

@@ -156,12 +156,6 @@ func (d *DPU) execute(t *thread) {
 	}
 
 	nextPC := t.pc + 1
-	writeDst := func(r isa.RegID, v uint32) {
-		d.write(t, r, v)
-		if d.cfg.Forwarding && r.IsGPR() {
-			t.regReady[r] = d.cycle + d.fwdLat[u.latSel]
-		}
-	}
 
 	switch u.kind {
 	case uopALU:
@@ -170,23 +164,23 @@ func (d *DPU) execute(t *thread) {
 			b = d.read(t, u.rb)
 		}
 		result := aluOp(u.op, d.read(t, u.ra), b)
-		writeDst(u.rd, result)
+		d.writeDst(t, u, u.rd, result)
 		if u.cond.Eval(int32(result)) {
 			nextPC = u.target
 		}
 
 	case uopMOV:
 		result := d.read(t, u.ra)
-		writeDst(u.rd, result)
+		d.writeDst(t, u, u.rd, result)
 		if u.cond.Eval(int32(result)) {
 			nextPC = u.target
 		}
 
 	case uopMOVI:
-		writeDst(u.rd, uint32(u.imm))
+		d.writeDst(t, u, u.rd, uint32(u.imm))
 
 	case uopMem:
-		d.execMem(t, u, writeDst)
+		d.execMem(t, u)
 
 	case uopDMA:
 		d.execDMA(t, u)
@@ -204,7 +198,7 @@ func (d *DPU) execute(t *thread) {
 		nextPC = u.target
 
 	case uopCALL:
-		writeDst(isa.RegID(23), uint32(t.pc)+1)
+		d.writeDst(t, u, isa.RegID(23), uint32(t.pc)+1)
 		nextPC = u.target
 
 	case uopJREG:
@@ -241,11 +235,11 @@ func (d *DPU) execute(t *thread) {
 	case uopPERF:
 		switch u.imm {
 		case 0:
-			writeDst(u.rd, uint32(d.cycle))
+			d.writeDst(t, u, u.rd, uint32(d.cycle))
 		case 1:
-			writeDst(u.rd, uint32(t.instret))
+			d.writeDst(t, u, u.rd, uint32(t.instret))
 		default:
-			writeDst(u.rd, 0)
+			d.writeDst(t, u, u.rd, 0)
 		}
 
 	case uopFAULT:
@@ -260,7 +254,16 @@ func (d *DPU) execute(t *thread) {
 // execMem handles loads/stores. WRAM-space accesses are single-cycle; in
 // cache mode, MRAM-space accesses go through the D-cache (functional data is
 // read/written immediately; the tasklet stalls for the miss latency).
-func (d *DPU) execMem(t *thread, u *uop, writeDst func(isa.RegID, uint32)) {
+// writeDst commits a result register write, updating the forwarding-ready
+// tick for GPR destinations.
+func (d *DPU) writeDst(t *thread, u *uop, r isa.RegID, v uint32) {
+	d.write(t, r, v)
+	if d.cfg.Forwarding && r.IsGPR() {
+		t.regReady[r] = d.cycle + d.fwdLat[u.latSel]
+	}
+}
+
+func (d *DPU) execMem(t *thread, u *uop) {
 	addr := d.read(t, u.ra) + uint32(u.imm)
 	size := int(u.memSiz)
 	space := mem.Classify(addr, d.cfg.WRAMBytes)
@@ -282,7 +285,7 @@ func (d *DPU) execMem(t *thread, u *uop, writeDst func(isa.RegID, uint32)) {
 			if u.signExt() {
 				v = signExtendVal(v, size)
 			}
-			writeDst(u.rd, v)
+			d.writeDst(t, u, u.rd, v)
 			d.st.WRAMReads++
 		}
 	case mem.SpaceMRAM:
@@ -319,7 +322,7 @@ func (d *DPU) execMem(t *thread, u *uop, writeDst func(isa.RegID, uint32)) {
 			if u.signExt() {
 				v = signExtendVal(v, size)
 			}
-			writeDst(u.rd, v)
+			d.writeDst(t, u, u.rd, v)
 		}
 		ready := d.dcache.Access(off, u.isStore(), d.nowTick())
 		if c := d.cycleOf(ready); c > d.cycle {
@@ -341,20 +344,13 @@ func (d *DPU) blockUntil(t *thread, cycle uint64) {
 			return
 		}
 		t.wakeAt = cycle
-		d.evq.push(cycle, int32(t.id))
+		d.sched.push(cycle, int32(t.id))
 		return
 	}
 	t.state = threadBlocked
 	t.wakeAt = cycle
 	d.blockedN++
-	d.evq.push(cycle, int32(t.id))
-}
-
-// dmaTransfer tracks an in-flight LDMA/SDMA.
-type dmaTransfer struct {
-	thread    *thread
-	remaining int
-	lastDone  Tick
+	d.sched.push(cycle, int32(t.id))
 }
 
 // execDMA issues an MRAM<->WRAM DMA: functional copy now, timing through the
@@ -409,14 +405,13 @@ func (d *DPU) execDMA(t *thread, u *uop) {
 	d.st.DMABytes += uint64(n)
 
 	// Timing: translate per touched page (MMU), then stream bursts through
-	// the bank; data crosses the MRAM<->WRAM link in burst grains.
+	// the bank; data crosses the MRAM<->WRAM link in burst grains. The
+	// transfer record lives in the DPU's xfer slab; completions route to it
+	// through sinkDMA records (see dispatch).
 	now := d.nowTick()
-	tr := &dmaTransfer{thread: t}
 	bb := d.cfg.BurstBytes
 	nBursts := (n + bb - 1) / bb
-	tr.remaining = nBursts
-
-	sink := d.dmaSink(tr, isLoad) // one completion closure per transfer
+	xi := d.allocXfer(int32(t.id), int32(nBursts))
 
 	pageBytes := uint32(0)
 	if d.mmu != nil {
@@ -442,7 +437,7 @@ func (d *DPU) execDMA(t *thread, u *uop) {
 			transReady = ready
 		}
 		for b := segStart; b < segEnd; b += bb {
-			d.bank.Enqueue(physBase+uint32(b-segStart), !isLoad, max(now, transReady), d.addSink(sink))
+			d.bank.Enqueue(physBase+uint32(b-segStart), !isLoad, max(now, transReady), d.addSink(sinkRec{kind: sinkDMA, xfer: xi}))
 		}
 		segStart = segEnd
 	}
@@ -452,23 +447,5 @@ func (d *DPU) execDMA(t *thread, u *uop) {
 		t.state = threadBlocked
 		t.wakeAt = neverWake
 		d.blockedN++
-	}
-}
-
-// dmaSink routes one burst completion into its transfer: the data crosses
-// the link, and when the last burst lands the tasklet is scheduled to wake.
-func (d *DPU) dmaSink(tr *dmaTransfer, isLoad bool) func(Tick) {
-	return func(completeAt Tick) {
-		done := d.link.Reserve(completeAt, d.cfg.BurstBytes)
-		if done > tr.lastDone {
-			tr.lastDone = done
-		}
-		tr.remaining--
-		if tr.remaining == 0 {
-			tr.thread.wakeAt = d.cycleOf(tr.lastDone) + 1
-			if tr.thread.state == threadBlocked {
-				d.evq.push(tr.thread.wakeAt, int32(tr.thread.id))
-			}
-		}
 	}
 }

@@ -57,23 +57,32 @@ func (w *warp) refreshLanes() {
 // scheduler state (the shared counters and timer queue operate on warps in
 // SIMT mode).
 func (d *DPU) buildWarps() {
-	d.warps = d.warps[:0]
 	sw := d.cfg.SIMTWidth
+	nw := (len(d.threads) + sw - 1) / sw
+	if cap(d.warpSlab) < nw {
+		d.warpSlab = make([]warp, nw)
+		d.warps = make([]*warp, nw)
+	} else {
+		d.warpSlab = d.warpSlab[:nw]
+		d.warps = d.warps[:nw]
+	}
 	for base := 0; base < len(d.threads); base += sw {
 		end := min(base+sw, len(d.threads))
-		w := &warp{
-			id:    base / sw,
-			lanes: d.threads[base:end],
+		w := &d.warpSlab[base/sw]
+		*w = warp{
+			id:     base / sw,
+			lanes:  d.threads[base:end],
+			active: w.active[:0], // keep the lane-schedule scratch capacity
 		}
 		w.refreshLanes()
-		d.warps = append(d.warps, w)
+		d.warps[base/sw] = w
 	}
 	n := len(d.warps)
-	d.evq = d.evq[:0]
+	d.sched.reset(d.cycle)
 	d.issuable.reset(n)
 	d.aliveN, d.blockedN, d.issuableN, d.issuableLanesN = n, 0, 0, 0
 	for i := 0; i < n; i++ {
-		d.evq.push(d.cycle, int32(i))
+		d.sched.push(d.cycle, int32(i))
 	}
 }
 
@@ -89,7 +98,7 @@ func (d *DPU) runSIMT(ctx context.Context, deadline uint64) error {
 		if d.bank.Pending() > 0 {
 			now := d.nowTick()
 			if at, ok := d.bank.NextDecisionAt(); ok && at <= now {
-				d.bank.Advance(now, d.onBurstFn)
+				d.advanceBank(now)
 			}
 		}
 		d.processDueWarps()
@@ -125,32 +134,38 @@ func (d *DPU) runSIMT(ctx context.Context, deadline uint64) error {
 // processDueWarps drains the timer queue up to the current cycle, waking
 // blocked warps and admitting ready ones into the issuable set.
 func (d *DPU) processDueWarps() {
-	for len(d.evq) > 0 && d.evq[0].at <= d.cycle {
-		id := d.evq.pop().id
-		w := d.warps[id]
-		if w.aliveLanes == 0 {
-			continue // stale timer of a finished warp
+	for {
+		at, ok := d.sched.nextAt()
+		if !ok || at > d.cycle {
+			break
 		}
-		if w.blocked {
-			if w.wakeAt == neverWake {
-				continue // the vector-memory sink re-arms the timer
+		for _, id := range d.sched.drainAt(at) {
+			w := d.warps[id]
+			if w.aliveLanes == 0 {
+				continue // stale timer of a finished warp
 			}
-			if w.wakeAt > d.cycle {
-				d.evq.push(w.wakeAt, id)
-				continue
+			if w.blocked {
+				if w.wakeAt == neverWake {
+					continue // the vector-memory sink re-arms the timer
+				}
+				if w.wakeAt > d.cycle {
+					d.sched.push(w.wakeAt, id)
+					continue
+				}
+				w.blocked = false
+				d.blockedN--
 			}
-			w.blocked = false
-			d.blockedN--
+			d.admitWarp(w)
 		}
-		d.admitWarp(w)
 	}
+	d.sched.advanceTo(d.cycle + 1)
 }
 
 // admitWarp marks a live, unblocked warp issuable, or re-arms its timer for
 // its revolver-ready cycle.
 func (d *DPU) admitWarp(w *warp) {
 	if w.nextIssueAt > d.cycle {
-		d.evq.push(w.nextIssueAt, int32(w.id))
+		d.sched.push(w.nextIssueAt, int32(w.id))
 		return
 	}
 	d.issuable.set(w.id)
@@ -161,10 +176,7 @@ func (d *DPU) admitWarp(w *warp) {
 // simtFastForward jumps the clock to the unified next-event time, bulk-
 // accounting the skipped idle cycles.
 func (d *DPU) simtFastForward(deadline uint64, memN, revN int) {
-	next := uint64(neverWake)
-	if len(d.evq) > 0 {
-		next = d.evq[0].at
-	}
+	next, _ := d.sched.nextAt()
 	if at, ok := d.bank.NextDecisionAt(); ok {
 		if c := d.cycleOf(at); c < next {
 			next = c
@@ -213,7 +225,7 @@ func (d *DPU) issueWarp() {
 		// The vector-memory sink arms the wake timer once the completion
 		// time is known.
 	default:
-		d.evq.push(w.nextIssueAt, int32(w.id))
+		d.sched.push(w.nextIssueAt, int32(w.id))
 	}
 }
 
@@ -295,13 +307,6 @@ func (d *DPU) executeVector(w *warp, pc uint16, active []*thread) {
 		t.pc = nextPC
 		t.instret++
 	}
-}
-
-// vecTransfer tracks an outstanding vector memory operation.
-type vecTransfer struct {
-	warp      *warp
-	remaining int
-	lastDone  Tick
 }
 
 // executeVectorMem performs a vector load/store: WRAM lanes complete in one
@@ -388,21 +393,9 @@ func (d *DPU) executeVectorMem(w *warp, u *uop, active []*thread) {
 		return
 	}
 	d.st.CoalescedRequests += uint64(len(bursts))
-	tr := &vecTransfer{warp: w, remaining: len(bursts)}
-	sink := func(at Tick) {
-		if at > tr.lastDone {
-			tr.lastDone = at
-		}
-		tr.remaining--
-		if tr.remaining == 0 {
-			tr.warp.wakeAt = d.cycleOf(tr.lastDone) + 1
-			if tr.warp.blocked {
-				d.evq.push(tr.warp.wakeAt, int32(tr.warp.id))
-			}
-		}
-	}
+	xi := d.allocXfer(int32(w.id), int32(len(bursts)))
 	for _, b := range bursts {
-		d.bank.Enqueue(b, isStore, now, d.addSink(sink))
+		d.bank.Enqueue(b, isStore, now, d.addSink(sinkRec{kind: sinkVector, xfer: xi}))
 	}
 	w.blocked = true
 	w.wakeAt = neverWake

@@ -10,21 +10,31 @@ import (
 // Tick aliases the simulator time unit.
 type Tick = config.Tick
 
-// Burst is one bank transaction moving cfg.BurstBytes of data.
+// Burst is one bank transaction moving cfg.BurstBytes of data. Bursts live in
+// a slab owned by the Bank and are referenced by slot index: the enqueue/
+// service hot path never heap-allocates, which matters because a DMA-heavy
+// kernel enqueues millions of bursts per simulated second.
 type Burst struct {
 	Addr    uint32 // MRAM bank offset
 	Write   bool
 	Arrival Tick
 	Tag     uint64 // caller-owned identifier returned on completion
 
-	seq    uint64
 	row    uint32
 	issued bool
+	// refs counts the queues (global FIFO + row FIFO) still holding this
+	// slot; the slot is recycled when both have skipped past it.
+	refs uint8
 }
 
-// CompletionFunc receives the tag and data-available tick of each scheduled
-// burst, in scheduling order.
-type CompletionFunc func(tag uint64, completeAt Tick)
+// Completion reports one scheduled burst: the caller's tag and the tick its
+// data is available. Advance appends completions to a caller-owned buffer in
+// scheduling order — a plain slice the caller ranges over, instead of a
+// per-burst callback through a function pointer.
+type Completion struct {
+	Tag        uint64
+	CompleteAt Tick
+}
 
 // Bank is the single-bank DRAM model.
 type Bank struct {
@@ -45,13 +55,19 @@ type Bank struct {
 	// younger row hits (in ticks).
 	starvationCap Tick
 
-	// Request bookkeeping: a global FIFO plus per-row FIFOs, both with lazy
-	// deletion, so FR-FCFS picks are O(1) amortized even with thousands of
-	// queued bursts.
-	nextSeq uint64
-	pending int
-	globalQ fifo
-	rowQs   map[uint32]*fifo
+	// Request bookkeeping: bursts in a slab with a free list, a global FIFO
+	// plus per-row FIFOs of slot indices, both with lazy deletion, so FR-FCFS
+	// picks are O(1) amortized even with thousands of queued bursts.
+	slab      []Burst
+	freeSlots []int32
+	pending   int
+	globalQ   fifo
+	// rowDir directly indexes a row's FIFO in rows[:nRows] (-1 = none): one
+	// entry per DRAM row, so the enqueue/pick path never hashes. Row FIFOs
+	// are recycled (capacity and all) across Reset.
+	rowDir []int32
+	rows   []fifo
+	nRows  int
 
 	// nextDecision memoizes NextDecisionAt between state changes: the DPU's
 	// event clock polls it every cycle, so the poll must be a field read, not
@@ -62,56 +78,103 @@ type Bank struct {
 	st *stats.DRAM
 }
 
+// fifo is a queue of burst-slab indices with lazy deletion.
 type fifo struct {
-	items []*Burst
+	items []int32
 	head  int
 }
 
-func (f *fifo) push(b *Burst) { f.items = append(f.items, b) }
+func (f *fifo) push(i int32) { f.items = append(f.items, i) }
 
-// peekPending returns the oldest unscheduled burst with Arrival <= t, or nil.
-func (f *fifo) peekPending(t Tick) *Burst {
-	for f.head < len(f.items) {
-		b := f.items[f.head]
-		if b.issued {
-			f.items[f.head] = nil
-			f.head++
-			continue
-		}
-		if b.Arrival > t {
-			return nil
-		}
-		return b
-	}
+func (f *fifo) reset() {
 	f.items = f.items[:0]
 	f.head = 0
-	return nil
+}
+
+// peekPending returns the slot of the oldest unscheduled burst in f with
+// Arrival <= t, or -1. Already-serviced entries are skipped and unreferenced
+// (recycling their slots once no queue holds them).
+func (b *Bank) peekPending(f *fifo, t Tick) int32 {
+	items, slab := f.items, b.slab
+	for f.head < len(items) {
+		i := items[f.head]
+		bu := &slab[i]
+		if bu.issued {
+			f.head++
+			b.unref(i)
+			continue
+		}
+		if bu.Arrival > t {
+			return -1
+		}
+		return i
+	}
+	f.reset()
+	return -1
+}
+
+// unref drops one queue reference from a serviced burst, recycling the slot
+// when the last reference goes.
+func (b *Bank) unref(i int32) {
+	bu := &b.slab[i]
+	bu.refs--
+	if bu.refs == 0 {
+		b.freeSlots = append(b.freeSlots, i)
+	}
 }
 
 // NewBank builds a bank from the configuration, recording statistics into st.
 func NewBank(cfg config.Config, st *stats.DRAM) *Bank {
+	b := &Bank{}
+	b.Reset(cfg, st)
+	return b
+}
+
+// Reset reinitializes the bank for cfg in place, keeping the burst slab, the
+// queue storage and the row directory for reuse — the arena path's
+// alternative to NewBank. A fresh bank and a reset bank are
+// indistinguishable to the simulation.
+func (b *Bank) Reset(cfg config.Config, st *stats.DRAM) {
 	dt := cfg.DRAMTicksPerCycle()
-	b := &Bank{
-		tRCD:          Tick(cfg.TRCD) * dt,
-		tRAS:          Tick(cfg.TRAS) * dt,
-		tRP:           Tick(cfg.TRP) * dt,
-		tCL:           Tick(cfg.TCL) * dt,
-		tBL:           Tick(cfg.TBL) * dt,
-		tREFI:         Tick(cfg.TREFI) * dt,
-		tRFC:          Tick(cfg.TRFC) * dt,
-		refresh:       cfg.RefreshEnable,
-		frfcfs:        cfg.MemSchedulerFRFCFS,
-		burstBytes:    cfg.BurstBytes,
-		rowBytes:      uint32(cfg.RowBytes),
-		openRow:       -1,
-		starvationCap: 2000 * dt,
-		rowQs:         map[uint32]*fifo{},
-		st:            st,
-	}
+	b.tRCD = Tick(cfg.TRCD) * dt
+	b.tRAS = Tick(cfg.TRAS) * dt
+	b.tRP = Tick(cfg.TRP) * dt
+	b.tCL = Tick(cfg.TCL) * dt
+	b.tBL = Tick(cfg.TBL) * dt
+	b.tREFI = Tick(cfg.TREFI) * dt
+	b.tRFC = Tick(cfg.TRFC) * dt
+	b.refresh = cfg.RefreshEnable
+	b.frfcfs = cfg.MemSchedulerFRFCFS
+	b.burstBytes = cfg.BurstBytes
+	b.rowBytes = uint32(cfg.RowBytes)
+	b.openRow = -1
+	b.cmdReadyAt = 0
+	b.lastActivateAt = 0
+	b.nextRefreshAt = 0
 	if b.refresh {
 		b.nextRefreshAt = b.tREFI
 	}
-	return b
+	b.starvationCap = 2000 * dt
+	b.slab = b.slab[:0]
+	b.freeSlots = b.freeSlots[:0]
+	b.pending = 0
+	b.globalQ.reset()
+	for i := 0; i < b.nRows; i++ {
+		b.rows[i].reset()
+	}
+	b.nRows = 0
+	nDirRows := (cfg.MRAMBytes + cfg.RowBytes - 1) / cfg.RowBytes
+	if cap(b.rowDir) < nDirRows {
+		b.rowDir = make([]int32, nDirRows)
+	} else {
+		b.rowDir = b.rowDir[:nDirRows]
+	}
+	for i := range b.rowDir {
+		b.rowDir[i] = -1
+	}
+	b.nextDecision = 0
+	b.nextDecisionValid = false
+	b.st = st
 }
 
 // BurstBytes returns the bank's transaction size.
@@ -124,20 +187,35 @@ func (b *Bank) Pending() int { return b.pending }
 // non-decreasing across calls for FR-FCFS fairness to be meaningful
 // (the simulator enqueues in simulation-time order).
 func (b *Bank) Enqueue(addr uint32, write bool, arrival Tick, tag uint64) {
-	burst := &Burst{
-		Addr: addr, Write: write, Arrival: arrival, Tag: tag,
-		seq: b.nextSeq, row: addr / b.rowBytes,
+	var slot int32
+	if n := len(b.freeSlots); n > 0 {
+		slot = b.freeSlots[n-1]
+		b.freeSlots = b.freeSlots[:n-1]
+	} else {
+		b.slab = append(b.slab, Burst{})
+		slot = int32(len(b.slab) - 1)
 	}
-	b.nextSeq++
+	row := addr / b.rowBytes
+	b.slab[slot] = Burst{
+		Addr: addr, Write: write, Arrival: arrival, Tag: tag,
+		row: row, refs: 2,
+	}
 	b.pending++
 	b.nextDecisionValid = false
-	b.globalQ.push(burst)
-	rq := b.rowQs[burst.row]
-	if rq == nil {
-		rq = &fifo{}
-		b.rowQs[burst.row] = rq
+	b.globalQ.push(slot)
+
+	ri := b.rowDir[row]
+	if ri < 0 {
+		if b.nRows < len(b.rows) {
+			ri = int32(b.nRows)
+		} else {
+			b.rows = append(b.rows, fifo{})
+			ri = int32(len(b.rows) - 1)
+		}
+		b.nRows++
+		b.rowDir[row] = ri
 	}
-	rq.push(burst)
+	b.rows[ri].push(slot)
 }
 
 // NextDecisionAt returns the earliest tick a scheduling decision could be
@@ -150,25 +228,26 @@ func (b *Bank) NextDecisionAt() (Tick, bool) {
 	if b.nextDecisionValid {
 		return b.nextDecision, true
 	}
-	oldest := b.globalQ.peekPending(^Tick(0))
-	if oldest == nil {
+	oldest := b.peekPending(&b.globalQ, ^Tick(0))
+	if oldest < 0 {
 		return 0, false
 	}
-	b.nextDecision = max(b.cmdReadyAt, oldest.Arrival)
+	b.nextDecision = max(b.cmdReadyAt, b.slab[oldest].Arrival)
 	b.nextDecisionValid = true
 	return b.nextDecision, true
 }
 
 // Advance makes every scheduling decision whose decision point is <= now,
-// invoking done for each scheduled burst with its data-completion tick
-// (which may lie beyond now).
-func (b *Bank) Advance(now Tick, done CompletionFunc) {
+// appending a Completion (with its data-available tick, which may lie beyond
+// now) to out for each scheduled burst, in scheduling order. It returns the
+// extended buffer; pass a reused slice to keep the drain allocation-free.
+func (b *Bank) Advance(now Tick, out []Completion) []Completion {
 	for b.pending > 0 {
-		oldest := b.globalQ.peekPending(^Tick(0))
-		if oldest == nil {
+		oldest := b.peekPending(&b.globalQ, ^Tick(0))
+		if oldest < 0 {
 			break // only lazily-deleted entries remained
 		}
-		t := max(b.cmdReadyAt, oldest.Arrival)
+		t := max(b.cmdReadyAt, b.slab[oldest].Arrival)
 		if t > now {
 			break
 		}
@@ -183,20 +262,21 @@ func (b *Bank) Advance(now Tick, done CompletionFunc) {
 			continue
 		}
 		pick := b.pick(t, oldest)
-		b.service(pick, t, done)
+		out = b.service(pick, t, out)
 	}
+	return out
 }
 
 // pick implements FR-FCFS with an age cap: the oldest row-hit request that
 // has arrived, unless the globally oldest request has waited past the cap
 // (or FR-FCFS is disabled), in which case strict FCFS order applies.
-func (b *Bank) pick(t Tick, oldest *Burst) *Burst {
-	if !b.frfcfs || t-oldest.Arrival > b.starvationCap {
+func (b *Bank) pick(t Tick, oldest int32) int32 {
+	if !b.frfcfs || t-b.slab[oldest].Arrival > b.starvationCap {
 		return oldest
 	}
 	if b.openRow >= 0 {
-		if rq := b.rowQs[uint32(b.openRow)]; rq != nil {
-			if hit := rq.peekPending(t); hit != nil {
+		if ri := b.rowDir[b.openRow]; ri >= 0 {
+			if hit := b.peekPending(&b.rows[ri], t); hit >= 0 {
 				return hit
 			}
 		}
@@ -204,7 +284,8 @@ func (b *Bank) pick(t Tick, oldest *Burst) *Burst {
 	return oldest
 }
 
-func (b *Bank) service(burst *Burst, t Tick, done CompletionFunc) {
+func (b *Bank) service(slot int32, t Tick, out []Completion) []Completion {
+	burst := &b.slab[slot]
 	var complete Tick
 	switch {
 	case b.openRow == int64(burst.row):
@@ -241,7 +322,7 @@ func (b *Bank) service(burst *Burst, t Tick, done CompletionFunc) {
 	burst.issued = true
 	b.pending--
 	b.nextDecisionValid = false
-	done(burst.Tag, complete)
+	return append(out, Completion{Tag: burst.Tag, CompleteAt: complete})
 }
 
 // Drain asserts the queue is empty (used at end of kernel to catch lost
@@ -265,10 +346,16 @@ type Link struct {
 // the 350 MHz reference clock so scaling the core frequency (the ILP "F"
 // feature) does not inflate memory bandwidth.
 func NewLink(cfg config.Config) *Link {
-	return &Link{
-		ticksPerByte: float64(config.TicksPerCycle(config.LinkReferenceFreqMHz)) /
-			float64(cfg.LinkBytesPerCycle),
-	}
+	l := &Link{}
+	l.Reset(cfg)
+	return l
+}
+
+// Reset reinitializes the link for cfg in place (arena reuse).
+func (l *Link) Reset(cfg config.Config) {
+	l.ticksPerByte = float64(config.TicksPerCycle(config.LinkReferenceFreqMHz)) /
+		float64(cfg.LinkBytesPerCycle)
+	l.freeAt = 0
 }
 
 // Reserve schedules bytes through the link once they are ready (data

@@ -25,8 +25,19 @@ func newBank(t *testing.T, mutate func(*config.Config)) (*Bank, *stats.DRAM, con
 // collect drains all decisions up to `now` into a tag->tick map.
 func collect(b *Bank, now Tick) map[uint64]Tick {
 	out := map[uint64]Tick{}
-	b.Advance(now, func(tag uint64, at Tick) { out[tag] = at })
+	for _, c := range b.Advance(now, nil) {
+		out[c.Tag] = c.CompleteAt
+	}
 	return out
+}
+
+// tagsOf drains all decisions up to `now` and returns the scheduling order.
+func tagsOf(b *Bank, now Tick) []uint64 {
+	var order []uint64
+	for _, c := range b.Advance(now, nil) {
+		order = append(order, c.Tag)
+	}
+	return order
 }
 
 func TestColdAccessLatency(t *testing.T) {
@@ -84,11 +95,10 @@ func TestRowConflictPaysRASAndPrecharge(t *testing.T) {
 func TestFRFCFSPrefersOpenRow(t *testing.T) {
 	b, _, cfg := newBank(t, nil)
 	rows := cfg.RowBytes
-	var order []uint64
 	b.Enqueue(0, false, 0, 0)            // row 0 (oldest, opens row)
 	b.Enqueue(uint32(rows), false, 0, 1) // row 1
 	b.Enqueue(8, false, 0, 2)            // row 0 again
-	b.Advance(^Tick(0), func(tag uint64, _ Tick) { order = append(order, tag) })
+	order := tagsOf(b, ^Tick(0))
 	if len(order) != 3 || order[0] != 0 || order[1] != 2 || order[2] != 1 {
 		t.Fatalf("FR-FCFS order = %v, want [0 2 1]", order)
 	}
@@ -96,11 +106,10 @@ func TestFRFCFSPrefersOpenRow(t *testing.T) {
 
 func TestFCFSModeKeepsArrivalOrder(t *testing.T) {
 	b, _, cfg := newBank(t, func(c *config.Config) { c.MemSchedulerFRFCFS = false })
-	var order []uint64
 	b.Enqueue(0, false, 0, 0)
 	b.Enqueue(uint32(cfg.RowBytes), false, 0, 1)
 	b.Enqueue(8, false, 0, 2)
-	b.Advance(^Tick(0), func(tag uint64, _ Tick) { order = append(order, tag) })
+	order := tagsOf(b, ^Tick(0))
 	if len(order) != 3 || order[0] != 0 || order[1] != 1 || order[2] != 2 {
 		t.Fatalf("FCFS order = %v, want [0 1 2]", order)
 	}
@@ -118,11 +127,11 @@ func TestStarvationCapBoundsBypassing(t *testing.T) {
 		b.Enqueue(uint32(i%64*8), false, 1, uint64(i))
 	}
 	var victimAt Tick
-	b.Advance(^Tick(0), func(tag uint64, at Tick) {
-		if tag == victimTag {
-			victimAt = at
+	for _, c := range b.Advance(^Tick(0), nil) {
+		if c.Tag == victimTag {
+			victimAt = c.CompleteAt
 		}
-	})
+	}
 	if victimAt == 0 {
 		t.Fatal("victim was never serviced")
 	}
@@ -213,10 +222,10 @@ func TestQuickTimingInvariants(t *testing.T) {
 		}
 		completions := map[uint64]Tick{}
 		var order []Tick
-		b.Advance(^Tick(0), func(tag uint64, at Tick) {
-			completions[tag] = at
-			order = append(order, at)
-		})
+		for _, c := range b.Advance(^Tick(0), nil) {
+			completions[c.Tag] = c.CompleteAt
+			order = append(order, c.CompleteAt)
+		}
 		if len(completions) != n {
 			return false
 		}

@@ -16,6 +16,7 @@ import (
 	"sync"
 
 	"upim/internal/config"
+	"upim/internal/core"
 	"upim/internal/prim"
 )
 
@@ -45,6 +46,41 @@ type Engine struct {
 	parallelism int
 	watchdog    uint64
 	cache       *prim.BuildCache
+	// arenas is an explicit free list of DPU-shell arenas: every Run
+	// borrows one for the duration of the point, so repeated runs on one
+	// engine settle into allocation-free steady state while concurrent
+	// runs still each hold their own (single-owner) arena. A plain list
+	// rather than a sync.Pool because the GC empties pools every cycle,
+	// and rebuilding an evicted shell costs thousands of allocations —
+	// eviction jitter would defeat the steady state. The list is capped
+	// at parallelism entries, bounding retained memory at the
+	// peak-concurrency working set.
+	arenaMu sync.Mutex
+	arenas  []*core.Arena
+}
+
+// getArena pops a recycled DPU-shell arena, or builds a fresh one when the
+// free list is empty.
+func (e *Engine) getArena() *core.Arena {
+	e.arenaMu.Lock()
+	defer e.arenaMu.Unlock()
+	if n := len(e.arenas); n > 0 {
+		a := e.arenas[n-1]
+		e.arenas[n-1] = nil
+		e.arenas = e.arenas[:n-1]
+		return a
+	}
+	return core.NewArena()
+}
+
+// putArena returns an arena to the free list, dropping it once the list
+// already holds one arena per worker slot.
+func (e *Engine) putArena(a *core.Arena) {
+	e.arenaMu.Lock()
+	defer e.arenaMu.Unlock()
+	if len(e.arenas) < e.parallelism {
+		e.arenas = append(e.arenas, a)
+	}
 }
 
 // New returns an engine running at most parallelism points concurrently
@@ -60,7 +96,10 @@ func NewWithCache(parallelism int, cache *prim.BuildCache) *Engine {
 	if parallelism <= 0 {
 		parallelism = runtime.GOMAXPROCS(0)
 	}
-	return &Engine{parallelism: parallelism, cache: cache}
+	return &Engine{
+		parallelism: parallelism,
+		cache:       cache,
+	}
 }
 
 // SetWatchdog bounds each launch's per-DPU cycles for all subsequent runs
@@ -73,8 +112,20 @@ func (e *Engine) Parallelism() int { return e.parallelism }
 // CacheStats snapshots the shared build cache's counters.
 func (e *Engine) CacheStats() prim.CacheStats { return e.cache.Stats() }
 
-// Run executes a single point through the shared build cache.
+// Run executes a single point through the shared build cache, borrowing a
+// DPU-shell arena from the engine's pool for the point's duration.
 func (e *Engine) Run(ctx context.Context, p Point) (*prim.Result, error) {
+	arena := e.getArena()
+	defer e.putArena(arena)
+	return e.RunInArena(ctx, p, arena)
+}
+
+// RunInArena executes a single point drawing DPU shells from arena (nil
+// degrades to plain allocation). The arena is single-owner: callers running
+// a resident point loop — the sweep workers here, the coordinator's worker
+// loop — hold one arena each and pass it to every run, which keeps
+// steady-state execution free of per-point simulator allocations.
+func (e *Engine) RunInArena(ctx context.Context, p Point, arena *core.Arena) (*prim.Result, error) {
 	wd := e.watchdog
 	if p.Watchdog > 0 {
 		wd = p.Watchdog
@@ -86,6 +137,7 @@ func (e *Engine) Run(ctx context.Context, p Point) (*prim.Result, error) {
 		Scale:     p.Scale,
 		Watchdog:  wd,
 		Cache:     e.cache,
+		Arena:     arena,
 	})
 }
 
@@ -106,8 +158,13 @@ func (e *Engine) Sweep(ctx context.Context, pts []Point) <-chan Outcome {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// One arena per worker goroutine for the whole sweep: every point
+			// this worker runs reuses the same DPU shells, so a long sweep
+			// settles into allocation-free steady state.
+			arena := e.getArena()
+			defer e.putArena(arena)
 			for i := range work {
-				res, err := e.Run(ctx, pts[i])
+				res, err := e.RunInArena(ctx, pts[i], arena)
 				// Unconditional ctx check first: a select alone could pick
 				// the send over Done and deliver after cancellation.
 				if ctx.Err() != nil {

@@ -2,11 +2,15 @@ package explore
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
 	"errors"
 	"os"
 	"path/filepath"
 	"reflect"
 	"strings"
+	"sync"
 	"testing"
 
 	"upim/internal/config"
@@ -163,6 +167,39 @@ func TestKeyOfDiscriminates(t *testing.T) {
 		}
 		seen[kk] = true
 	}
+}
+
+// TestKeyOfMatchesPlainMarshal pins the pooled encoder to json.Marshal's
+// byte form: content addresses must not change when the encode path does, or
+// every existing store silently loses its entries.
+func TestKeyOfMatchesPlainMarshal(t *testing.T) {
+	p := engine.Point{Benchmark: "VA", Config: config.Default(), DPUs: 2, Scale: prim.ScaleSmall, Watchdog: 7}
+	rec := struct {
+		Format int          `json:"format"`
+		Point  engine.Point `json:"point"`
+	}{storeFormat, p}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := sha256.Sum256(data)
+	if want := hex.EncodeToString(sum[:]); KeyOf(p) != want {
+		t.Fatalf("KeyOf = %s, want the json.Marshal-based address %s", KeyOf(p), want)
+	}
+	// Concurrent hashing exercises the buffer pool (go test -race).
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				if KeyOf(p) != hex.EncodeToString(sum[:]) {
+					panic("pooled KeyOf diverged")
+				}
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 func TestStoreRoundTripExact(t *testing.T) {

@@ -1,6 +1,7 @@
 package explore
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -9,6 +10,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"sync/atomic"
 
 	"upim/internal/engine"
@@ -51,13 +53,35 @@ func KeyOf(p engine.Point) string {
 		Format int          `json:"format"`
 		Point  engine.Point `json:"point"`
 	}{storeFormat, p}
-	data, err := json.Marshal(rec)
+	buf, data, err := marshalPooled(rec)
 	if err != nil {
 		// engine.Point is plain data; Marshal cannot fail on it.
 		panic(fmt.Sprintf("explore: marshaling point key: %v", err))
 	}
 	sum := sha256.Sum256(data)
+	encBufs.Put(buf)
 	return hex.EncodeToString(sum[:])
+}
+
+// encBufs pools JSON encode buffers: key hashing and entry writes run once
+// per point in sweep/exploration loops, and reusing the buffer keeps those
+// loops from re-growing a multi-KB encode buffer every point.
+var encBufs = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// marshalPooled encodes v into a pooled buffer and returns the buffer plus
+// the canonical bytes. The bytes alias the buffer, which the caller returns
+// to encBufs when done with them. The result is exactly json.Marshal's: the
+// encoder's trailing newline is stripped, keeping content addresses and the
+// on-disk format byte-identical to the pre-pooling ones.
+func marshalPooled(v any) (*bytes.Buffer, []byte, error) {
+	buf := encBufs.Get().(*bytes.Buffer)
+	buf.Reset()
+	if err := json.NewEncoder(buf).Encode(v); err != nil {
+		encBufs.Put(buf)
+		return nil, nil, err
+	}
+	b := buf.Bytes()
+	return buf, b[:len(b)-1], nil
 }
 
 // entry is the on-disk envelope of one stored result. Point is stored
@@ -235,10 +259,11 @@ func (s *Store) PutEstimate(key string, p engine.Point, est *estimate.Estimate) 
 
 // write atomically persists one entry (temp file + rename).
 func (s *Store) write(key string, e entry) error {
-	data, err := json.Marshal(e)
+	buf, data, err := marshalPooled(e)
 	if err != nil {
 		return fmt.Errorf("explore: encoding %s: %w", key, err)
 	}
+	defer encBufs.Put(buf)
 	dir := filepath.Dir(s.path(key))
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("explore: store: %w", err)

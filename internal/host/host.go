@@ -84,6 +84,11 @@ type System struct {
 
 	report      Report
 	maxKernelCy uint64 // per-launch watchdog
+
+	// Launch scratch, reused across launches so steady-state launches do not
+	// allocate.
+	before []uint64
+	errs   []error
 }
 
 // NewSystem links obj for cfg and allocates n DPUs loaded with the program.
@@ -103,6 +108,14 @@ func NewSystem(obj *linker.Object, cfg config.Config, n int) (*System, error) {
 // never mutated, so one Program may back many concurrent Systems (the sweep
 // engine's build cache relies on this).
 func NewSystemFromProgram(prog *linker.Program, cfg config.Config, n int) (*System, error) {
+	return NewSystemFromProgramInArena(prog, cfg, n, nil)
+}
+
+// NewSystemFromProgramInArena is NewSystemFromProgram drawing the DPUs from
+// an arena (nil degrades to plain allocation). The caller must Release the
+// system once it has copied every result out; see the arena's ownership
+// rules.
+func NewSystemFromProgramInArena(prog *linker.Program, cfg config.Config, n int, arena *core.Arena) (*System, error) {
 	if prog == nil {
 		return nil, fmt.Errorf("host: nil program (link an object first)")
 	}
@@ -119,13 +132,26 @@ func NewSystemFromProgram(prog *linker.Program, cfg config.Config, n int) (*Syst
 		maxKernelCy: 2_000_000_000,
 	}
 	for i := 0; i < n; i++ {
-		d, err := core.New(i, prog, cfg)
+		d, err := core.NewInArena(arena, i, prog, cfg)
 		if err != nil {
+			s.Release()
 			return nil, err
 		}
 		s.dpus[i] = d
 	}
 	return s, nil
+}
+
+// Release returns every DPU to its arena (a no-op for plainly-allocated
+// systems). The system and any views into its DPUs must not be used
+// afterwards; results must be copied out first. Release is idempotent.
+func (s *System) Release() {
+	for i, d := range s.dpus {
+		if d != nil {
+			d.Release()
+			s.dpus[i] = nil
+		}
+	}
 }
 
 // NumDPUs returns the allocation size.
@@ -207,12 +233,22 @@ func (s *System) WriteArgs(dpu int, args ...uint32) error {
 // ReadMRAM retrieves data from a DPU's MRAM, charging the DPU->CPU channel.
 func (s *System) ReadMRAM(dpu int, off uint32, n int) ([]byte, error) {
 	buf := make([]byte, n)
-	if err := s.dpus[dpu].MRAM().ReadBytes(off, buf); err != nil {
+	if err := s.ReadMRAMInto(dpu, off, buf); err != nil {
 		return nil, err
 	}
-	s.pendOut[dpu] += uint64(n)
-	s.report.BytesOut += uint64(n)
 	return buf, nil
+}
+
+// ReadMRAMInto fills buf from a DPU's MRAM starting at off. It is the
+// allocation-free variant of ReadMRAM for hot verification loops that
+// reuse one scratch buffer across DPUs.
+func (s *System) ReadMRAMInto(dpu int, off uint32, buf []byte) error {
+	if err := s.dpus[dpu].MRAM().ReadBytes(off, buf); err != nil {
+		return err
+	}
+	s.pendOut[dpu] += uint64(len(buf))
+	s.report.BytesOut += uint64(len(buf))
+	return nil
 }
 
 // ReadWRAM retrieves data from a DPU's WRAM.
@@ -238,36 +274,51 @@ func (s *System) Launch(ctx context.Context) error {
 		ctx = context.Background()
 	}
 	s.flushTransfers()
-	before := make([]uint64, len(s.dpus))
+	n := len(s.dpus)
+	if cap(s.before) < n {
+		s.before = make([]uint64, n)
+		s.errs = make([]error, n)
+	}
+	before, errs := s.before[:n], s.errs[:n]
 	for i, d := range s.dpus {
 		before[i] = d.Cycles()
+		errs[i] = nil
 		if s.report.Launches > 0 {
 			d.Relaunch()
 		}
 	}
 
-	workers := min(len(s.dpus), runtime.GOMAXPROCS(0))
-	work := make(chan int)
-	errs := make([]error, len(s.dpus))
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range work {
-				if err := ctx.Err(); err != nil {
-					errs[i] = err
-					continue
-				}
-				errs[i] = s.dpus[i].Run(ctx, s.maxKernelCy)
+	// DPUs are independent between launches, so each worker takes one
+	// contiguous batch of DPUs instead of pulling single indices off a
+	// channel: no per-DPU channel handshake, and a single-DPU (or
+	// single-worker) launch runs inline on this goroutine.
+	workers := min(n, runtime.GOMAXPROCS(0))
+	if workers <= 1 {
+		for i, d := range s.dpus {
+			if err := ctx.Err(); err != nil {
+				errs[i] = err
+				continue
 			}
-		}()
+			errs[i] = d.Run(ctx, s.maxKernelCy)
+		}
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			lo, hi := w*n/workers, (w+1)*n/workers
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := lo; i < hi; i++ {
+					if err := ctx.Err(); err != nil {
+						errs[i] = err
+						continue
+					}
+					errs[i] = s.dpus[i].Run(ctx, s.maxKernelCy)
+				}
+			}()
+		}
+		wg.Wait()
 	}
-	for i := range s.dpus {
-		work <- i
-	}
-	close(work)
-	wg.Wait()
 
 	if err := launchError(s.report.Launches, ctx.Err(), errs); err != nil {
 		return err

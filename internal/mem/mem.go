@@ -81,6 +81,18 @@ type WRAM struct {
 // NewWRAM allocates a scratchpad of the given size.
 func NewWRAM(size int) *WRAM { return &WRAM{data: make([]byte, size)} }
 
+// Reset zeroes the scratchpad and resizes it to size, reusing the backing
+// array when it is large enough (arena reuse): a reset WRAM is
+// indistinguishable from a fresh one.
+func (w *WRAM) Reset(size int) {
+	if cap(w.data) < size {
+		w.data = make([]byte, size)
+		return
+	}
+	w.data = w.data[:size]
+	clear(w.data)
+}
+
 // Size returns the scratchpad capacity in bytes.
 func (w *WRAM) Size() int { return len(w.data) }
 
@@ -166,6 +178,26 @@ func NewMRAM(size int) *MRAM {
 
 // Size returns the bank capacity in bytes.
 func (m *MRAM) Size() int { return m.size }
+
+// Reset zeroes the bank and resizes it to size, keeping already-materialized
+// pages (zeroed in place) for reuse — a reset MRAM reads all-zeros exactly
+// like a fresh one, without re-paying the page allocations.
+func (m *MRAM) Reset(size int) {
+	n := (size + mramPageBytes - 1) / mramPageBytes
+	if n > cap(m.pages) {
+		pages := make([][]byte, n)
+		copy(pages, m.pages)
+		m.pages = pages
+	} else {
+		m.pages = m.pages[:n]
+	}
+	m.size = size
+	for _, p := range m.pages {
+		if p != nil {
+			clear(p)
+		}
+	}
+}
 
 func (m *MRAM) page(idx int) []byte {
 	if m.pages[idx] == nil {
@@ -264,6 +296,22 @@ func NewAtomic(n int) *Atomic {
 		a.owner[i] = -1
 	}
 	return a
+}
+
+// Reset releases every lock and resizes the region to n locks, reusing the
+// backing arrays when possible (arena reuse).
+func (a *Atomic) Reset(n int) {
+	if cap(a.held) < n {
+		a.held = make([]bool, n)
+		a.owner = make([]int, n)
+	} else {
+		a.held = a.held[:n]
+		a.owner = a.owner[:n]
+	}
+	for i := range a.held {
+		a.held[i] = false
+		a.owner[i] = -1
+	}
 }
 
 // Locks returns the number of locks in the region.

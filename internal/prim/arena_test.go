@@ -1,0 +1,80 @@
+package prim
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"upim/internal/config"
+	"upim/internal/core"
+)
+
+// TestArenaSweepSteadyStateBitIdentical is the tentpole correctness gate for
+// arena-backed sweeps: the same point run on a fresh system and on an arena
+// recycled through many runs (interleaved with other benchmarks, modes and
+// thread counts, as a real sweep worker would) must produce bit-identical
+// statistics counters and energy breakdowns.
+func TestArenaSweepSteadyStateBitIdentical(t *testing.T) {
+	cfg := config.Default()
+	cfg.NumTasklets = 16
+	cache := NewBuildCache()
+	point := func(arena *core.Arena) *Result {
+		res, err := RunSpec(context.Background(), Spec{
+			Benchmark: "VA", Config: cfg, DPUs: 2, Scale: ScaleTiny,
+			Cache: cache, Arena: arena,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	fresh := point(nil)
+	freshCounters := fresh.Stats.Counters()
+	freshEnergy := fresh.Energy(nil)
+
+	arena := core.NewArena()
+	// Interleave other shapes through the same arena, like a sweep worker's
+	// point stream: different benchmark, cache mode, other thread counts.
+	ccfg := cfg
+	ccfg.Mode = config.ModeCache
+	for _, sp := range []Spec{
+		{Benchmark: "BS", Config: cfg, DPUs: 1, Scale: ScaleTiny, Cache: cache, Arena: arena},
+		{Benchmark: "VA", Config: ccfg, DPUs: 2, Scale: ScaleTiny, Cache: cache, Arena: arena},
+		{Benchmark: "RED", Config: cfg, DPUs: 4, Scale: ScaleTiny, Cache: cache, Arena: arena},
+	} {
+		if _, err := RunSpec(context.Background(), sp); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for i := 0; i < 100; i++ {
+		got := point(arena)
+		if !reflect.DeepEqual(got.Stats.Counters(), freshCounters) {
+			t.Fatalf("reuse %d: counters diverge from the fresh run", i)
+		}
+		if !reflect.DeepEqual(got.Energy(nil), freshEnergy) {
+			t.Fatalf("reuse %d: energy breakdown diverges from the fresh run", i)
+		}
+		if !reflect.DeepEqual(got.PerDPU, fresh.PerDPU) {
+			t.Fatalf("reuse %d: per-DPU statistics diverge from the fresh run", i)
+		}
+	}
+}
+
+// TestBatchedLaunchManyDPUs drives the host's batched multi-goroutine launch
+// path with enough DPUs that every worker takes a multi-DPU range; under
+// `go test -race` this doubles as the data-race gate for DPU batching and
+// arena release.
+func TestBatchedLaunchManyDPUs(t *testing.T) {
+	cfg := config.Default()
+	cfg.NumTasklets = 4
+	arena := core.NewArena()
+	for i := 0; i < 3; i++ {
+		if _, err := RunSpec(context.Background(), Spec{
+			Benchmark: "VA", Config: cfg, DPUs: 32, Scale: ScaleTiny, Arena: arena,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

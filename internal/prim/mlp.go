@@ -36,9 +36,11 @@ func runMLP(ctx context.Context, sys *host.System, p Params) error {
 	dim, layers := p.M, p.Layers
 	weights := make([][]int32, layers)
 	for l := range weights {
-		w := randI32s(dim*dim, 16, p.Seed+int64(l))
-		for i := range w {
-			w[i] -= 8
+		// randI32s results are shared read-only; shift into a copy.
+		base := randI32s(dim*dim, 16, p.Seed+int64(l))
+		w := make([]int32, len(base))
+		for i, v := range base {
+			w[i] = v - 8
 		}
 		weights[l] = w
 	}

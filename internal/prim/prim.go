@@ -16,8 +16,10 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"upim/internal/config"
+	"upim/internal/core"
 	"upim/internal/energy"
 	"upim/internal/host"
 	"upim/internal/linker"
@@ -180,6 +182,9 @@ type Spec struct {
 	// Cache, when non-nil, reuses assembled objects and linked programs
 	// across runs that share a kernel (sweeps build each kernel once).
 	Cache *BuildCache
+	// Arena, when non-nil, recycles DPU shells across runs. Single-owner:
+	// a sweep worker passes its own arena with every spec it executes.
+	Arena *core.Arena
 }
 
 // Run executes a benchmark under cfg on nDPUs and verifies its output.
@@ -219,10 +224,14 @@ func RunSpec(ctx context.Context, sp Spec) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("prim: %s: %w", name, err)
 	}
-	sys, err := host.NewSystemFromProgram(prog, cfg, sp.DPUs)
+	sys, err := host.NewSystemFromProgramInArena(prog, cfg, sp.DPUs, sp.Arena)
 	if err != nil {
 		return nil, fmt.Errorf("prim: %s: %w", name, err)
 	}
+	// Results below are value copies (stats whose growable parts the core
+	// detaches at reinit), so the DPU shells can be recycled on every path
+	// out of this function.
+	defer sys.Release()
 	if sp.Watchdog > 0 {
 		sys.SetWatchdog(sp.Watchdog)
 	}
@@ -248,32 +257,95 @@ func RunSpec(ctx context.Context, sp Spec) (*Result, error) {
 
 // --- shared host-side helpers -------------------------------------------
 
-// i32sToBytes serializes int32s little-endian.
+// i32sToBytes serializes int32s little-endian into a fresh buffer. Hot
+// paths that serialize in a loop should prefer appendI32s with a reused
+// buffer.
 func i32sToBytes(v []int32) []byte {
-	out := make([]byte, 4*len(v))
-	for i, x := range v {
-		binary.LittleEndian.PutUint32(out[4*i:], uint32(x))
+	return appendI32s(make([]byte, 0, 4*len(v)), v)
+}
+
+// appendI32s appends the little-endian serialization of v to dst and
+// returns the extended slice, reusing dst's capacity. The per-DPU staging
+// loops call this with one scratch buffer per run so steady-state input
+// distribution does not allocate.
+func appendI32s(dst []byte, v []int32) []byte {
+	n := len(dst)
+	if cap(dst)-n < 4*len(v) {
+		grown := make([]byte, n, n+4*len(v))
+		copy(grown, dst)
+		dst = grown
 	}
-	return out
+	dst = dst[:n+4*len(v)]
+	for i, x := range v {
+		binary.LittleEndian.PutUint32(dst[n+4*i:], uint32(x))
+	}
+	return dst
 }
 
 // bytesToI32s deserializes little-endian int32s.
 func bytesToI32s(raw []byte) []int32 {
-	out := make([]int32, len(raw)/4)
-	for i := range out {
-		out[i] = int32(binary.LittleEndian.Uint32(raw[4*i:]))
-	}
-	return out
+	return appendBytesAsI32s(make([]int32, 0, len(raw)/4), raw)
 }
 
-// randI32s generates n values in [0, bound) from a seed.
+// appendBytesAsI32s appends raw's little-endian int32s to dst, reusing
+// dst's capacity.
+func appendBytesAsI32s(dst []int32, raw []byte) []int32 {
+	for i := 0; i+4 <= len(raw); i += 4 {
+		dst = append(dst, int32(binary.LittleEndian.Uint32(raw[i:])))
+	}
+	return dst
+}
+
+// hostScratch holds one run's host-side staging buffers — golden model,
+// readback, serialization — pooled so steady-state sweep points allocate
+// nothing for workload I/O. Contents are dead once the run returns; only
+// capacity is recycled.
+type hostScratch struct {
+	want []int32
+	got  []int32
+	buf  []byte
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(hostScratch) }}
+
+// growI32 returns a length-n int32 slice, reusing s's storage when it is
+// large enough.
+func growI32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+// randCache memoizes workload input vectors. randI32s is a pure function
+// of (n, bound, seed) and a sweep's steady state regenerates identical
+// inputs at every point, so all runs share one immutable copy and input
+// generation is allocation-free after the first run of each shape. The
+// cache is never evicted; it holds one vector per distinct (benchmark,
+// scale) shape exercised by the process.
+var randCache sync.Map // randKey -> []int32
+
+type randKey struct {
+	n     int
+	bound int32
+	seed  int64
+}
+
+// randI32s generates n values in [0, bound) from a seed. The result is
+// shared across calls and MUST be treated as read-only; copy before
+// mutating.
 func randI32s(n int, bound int32, seed int64) []int32 {
+	k := randKey{n, bound, seed}
+	if v, ok := randCache.Load(k); ok {
+		return v.([]int32)
+	}
 	r := rand.New(rand.NewSource(seed))
 	out := make([]int32, n)
 	for i := range out {
 		out[i] = r.Int31n(bound)
 	}
-	return out
+	v, _ := randCache.LoadOrStore(k, out)
+	return v.([]int32)
 }
 
 // ranges splits n items into parts contiguous ranges, each aligned to align

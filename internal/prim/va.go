@@ -125,7 +125,15 @@ func runVA(ctx context.Context, sys *host.System, p Params) error {
 	n := p.N
 	a := randI32s(n, 1<<20, p.Seed)
 	bv := randI32s(n, 1<<20, p.Seed+1)
-	want := make([]int32, n)
+	var (
+		got []int32
+		buf []byte // staging/readback scratch, reused across DPUs
+	)
+	sc := scratchPool.Get().(*hostScratch)
+	sc.want = growI32(sc.want, n)
+	got, buf = sc.got[:0], sc.buf
+	defer func() { sc.got, sc.buf = got, buf; scratchPool.Put(sc) }()
+	want := sc.want
 	for i := range want {
 		want[i] = a[i] + bv[i]
 	}
@@ -140,10 +148,12 @@ func runVA(ctx context.Context, sys *host.System, p Params) error {
 		l.bOff = align8(l.aOff + uint32(4*cnt))
 		l.cOff = align8(l.bOff + uint32(4*cnt))
 		lay[d] = l
-		if err := sys.CopyToMRAM(d, l.aOff, i32sToBytes(a[r[0]:r[1]])); err != nil {
+		buf = appendI32s(buf[:0], a[r[0]:r[1]])
+		if err := sys.CopyToMRAM(d, l.aOff, buf); err != nil {
 			return err
 		}
-		if err := sys.CopyToMRAM(d, l.bOff, i32sToBytes(bv[r[0]:r[1]])); err != nil {
+		buf = appendI32s(buf[:0], bv[r[0]:r[1]])
+		if err := sys.CopyToMRAM(d, l.bOff, buf); err != nil {
 			return err
 		}
 		if err := sys.WriteArgs(d,
@@ -156,14 +166,16 @@ func runVA(ctx context.Context, sys *host.System, p Params) error {
 		return err
 	}
 	sys.SetPhase(host.PhaseOutput)
-	got := make([]int32, 0, n)
 	for d, r := range slices {
 		cnt := r[1] - r[0]
-		raw, err := sys.ReadMRAM(d, lay[d].cOff, 4*cnt)
-		if err != nil {
+		if cap(buf) < 4*cnt {
+			buf = make([]byte, 4*cnt)
+		}
+		buf = buf[:4*cnt]
+		if err := sys.ReadMRAMInto(d, lay[d].cOff, buf); err != nil {
 			return err
 		}
-		got = append(got, bytesToI32s(raw)...)
+		got = appendBytesAsI32s(got, buf)
 	}
 	return checkI32s("VA", got, want)
 }

@@ -217,6 +217,12 @@ func (s *DPU) RecordTLP(issuable int, count uint64, window int) {
 	if window <= 0 {
 		return
 	}
+	s.recordTimeline(issuable, count, window)
+}
+
+// recordTimeline is RecordTLP's windowed tail, split out so the histogram
+// fast path stays within the inlining budget (it runs every core cycle).
+func (s *DPU) recordTimeline(issuable int, count uint64, window int) {
 	s.TimelineWindow = window
 	for count > 0 {
 		room := uint64(window - s.tlCount)

@@ -1,0 +1,90 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: upim
+cpu: Test CPU
+BenchmarkTable1_Config-8   	     100	  12000 ns/op	 2048 B/op	      50 allocs/op
+BenchmarkSimulationRate-8  	      10	 3000000 ns/op	    16000 KIPS	 1000000 B/op	     100 allocs/op
+PASS
+ok  	upim	1.234s
+`
+
+func parseSample(t *testing.T, s string) *Report {
+	t.Helper()
+	r, err := parse(bufio.NewScanner(strings.NewReader(s)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestParseBenchOutput(t *testing.T) {
+	r := parseSample(t, sample)
+	if r.GOOS != "linux" || r.CPU != "Test CPU" || len(r.Benchmarks) != 2 {
+		t.Fatalf("parsed header/records wrong: %+v", r)
+	}
+	b := r.Benchmarks[1]
+	if b.Name != "BenchmarkSimulationRate" || b.NsPerOp != 3000000 ||
+		b.AllocsPerOp != 100 || b.Metrics["KIPS"] != 16000 {
+		t.Fatalf("record: %+v", b)
+	}
+}
+
+func TestDiffGate(t *testing.T) {
+	base := parseSample(t, sample)
+
+	t.Run("improvement passes", func(t *testing.T) {
+		cur := parseSample(t, strings.ReplaceAll(sample, "50 allocs/op", "10 allocs/op"))
+		var out strings.Builder
+		if bad := diff(&out, base, cur, "base", splitGate("BenchmarkTable1_Config"), 0.10); len(bad) != 0 {
+			t.Fatalf("improvement flagged as regression: %v", bad)
+		}
+		for _, want := range []string{"allocs/op", "-80.0%", "KIPS"} {
+			if !strings.Contains(out.String(), want) {
+				t.Errorf("delta table missing %q:\n%s", want, out.String())
+			}
+		}
+	})
+
+	t.Run("regression fails", func(t *testing.T) {
+		cur := parseSample(t, strings.ReplaceAll(sample, "50 allocs/op", "60 allocs/op"))
+		var out strings.Builder
+		bad := diff(&out, base, cur, "base", splitGate("BenchmarkTable1_Config"), 0.10)
+		if len(bad) != 1 || !strings.Contains(bad[0], "BenchmarkTable1_Config") {
+			t.Fatalf("regression not caught: %v", bad)
+		}
+	})
+
+	t.Run("within tolerance passes", func(t *testing.T) {
+		cur := parseSample(t, strings.ReplaceAll(sample, "50 allocs/op", "54 allocs/op"))
+		var out strings.Builder
+		if bad := diff(&out, base, cur, "base", splitGate("BenchmarkTable1_Config"), 0.10); len(bad) != 0 {
+			t.Fatalf("within-tolerance drift flagged: %v", bad)
+		}
+	})
+
+	t.Run("missing gated benchmark fails", func(t *testing.T) {
+		cur := parseSample(t, sample)
+		cur.Benchmarks = cur.Benchmarks[1:] // drop Table1
+		var out strings.Builder
+		bad := diff(&out, base, cur, "base", splitGate("BenchmarkTable1_Config"), 0.10)
+		if len(bad) != 1 || !strings.Contains(bad[0], "missing") {
+			t.Fatalf("missing gated benchmark not caught: %v", bad)
+		}
+	})
+
+	t.Run("ungated regression only reported", func(t *testing.T) {
+		cur := parseSample(t, strings.ReplaceAll(sample, "50 allocs/op", "500 allocs/op"))
+		var out strings.Builder
+		if bad := diff(&out, base, cur, "base", splitGate(""), 0.10); len(bad) != 0 {
+			t.Fatalf("ungated benchmark gated: %v", bad)
+		}
+	})
+}
