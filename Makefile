@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-race race cover bench bench-diff fmt vet report refdata pathfind-smoke coord-smoke energy-check calibration-check
+.PHONY: build test test-race race cover bench bench-diff fmt vet report refdata pathfind-smoke coord-smoke serve-smoke energy-check calibration-check
 
 build:
 	$(GO) build ./...
@@ -37,6 +37,16 @@ coord-smoke:
 	diff -r coordreport1 coordreport2
 	test -s coord-events.jsonl
 
+# serve-smoke mirrors the CI job: a tiny multi-tenant serving run (Poisson
+# arrivals, two tenants, weighted-fair + FIFO load sweep) validated against
+# the committed references at eps 1e-12, run at -jobs 1 and -jobs 8; the
+# virtual-time event loop makes the two reports byte-identical.
+serve-smoke:
+	rm -rf servereport1 servereport8
+	$(GO) run ./cmd/upimulator serve -loads 0.5,0.8,1.1 -policies fifo,wfq -jobs 1 -check -eps 1e-12 -out servereport1
+	$(GO) run ./cmd/upimulator serve -loads 0.5,0.8,1.1 -policies fifo,wfq -jobs 8 -check -eps 1e-12 -out servereport8
+	diff -r servereport1 servereport8
+
 # energy-check mirrors the CI job: regenerate the energy breakdown at tiny
 # scale, validate it against the committed reference at eps 1e-12, and leave
 # the browsable report under energy-report/.
@@ -61,8 +71,8 @@ bench:
 # at the baseline's benchtime (1s default, so allocs/op amortizes cold
 # starts the same way the baseline did) and print per-benchmark deltas
 # against the committed BENCH_8.json baseline, failing on allocs/op
-# regressions in the gated (Table1/Table2) benchmarks. DIFFOUT=deltas.txt
-# also saves the table; BENCHTIME=2s steadies ns/op.
+# regressions in the gated (Table1/Table2/ServeThroughput) benchmarks.
+# DIFFOUT=deltas.txt also saves the table; BENCHTIME=2s steadies ns/op.
 bench-diff:
 	BENCHTIME=$(BENCHTIME) BENCH=$(BENCH) BASELINE=$(BASELINE) DIFFOUT=$(DIFFOUT) ./scripts/bench_diff.sh
 

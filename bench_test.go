@@ -219,6 +219,48 @@ func BenchmarkEstimateThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkServeThroughput measures the serving stack end to end: profile
+// two tenants' kernels cycle-exactly, then replay a 48-request Poisson
+// stream through the weighted-fair scheduler in virtual time. The req/s
+// metric is wall-clock serving throughput (how fast the evaluation runs);
+// the simulated rate lives in the artifact tables. Profiling runs
+// single-worker so allocs/op is deterministic and gate-able.
+func BenchmarkServeThroughput(b *testing.B) {
+	tenants := []upim.ServeTenant{
+		{Name: "latency", Mix: []string{"VA"}, Weight: 3, SLOClass: "latency"},
+		{Name: "batch", Mix: []string{"BS"}, Weight: 1, SLOClass: "batch"},
+	}
+	policy, err := upim.NewSchedulingPolicy("wfq", tenants)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := upim.ServeOptions{
+		Tenants:     tenants,
+		Policy:      policy,
+		Groups:      2,
+		MaxBatch:    4,
+		Requests:    24,
+		Load:        0.8,
+		Seed:        1,
+		Scale:       upim.ScaleTiny,
+		Parallelism: 1,
+	}
+	ctx := context.Background()
+	served := 0
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		res, err := upim.Serve(ctx, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		served += len(res.Records)
+	}
+	elapsed := time.Since(start).Seconds()
+	if elapsed > 0 {
+		b.ReportMetric(float64(served)/elapsed, "req/s")
+	}
+}
+
 // BenchmarkSimulationRate measures the simulator's own speed in
 // kilo-instructions per second (the paper reports ~3 KIPS for uPIMulator;
 // Table III's last row). It runs through a long-lived Runner — the steady

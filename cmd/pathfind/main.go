@@ -3,8 +3,14 @@
 // DPUs, frequency, MRAM-link scale, the ILP feature ladder, memory-hierarchy
 // mode) over a set of benchmarks, runs every feasible point concurrently,
 // and extracts Pareto frontiers (-goals: any subset of time, kernel, cost,
-// energy, edp), ranked best configurations, and per-point energy breakdowns
-// (-energy, parameterized by a -profile TechProfile JSON).
+// energy, edp, p99), ranked best configurations, and per-point energy
+// breakdowns (-energy, parameterized by a -profile TechProfile JSON). The
+// p99 goal scores each point as a server: its tail latency under a canned
+// two-tenant open-loop workload, scheduled by the point's policy axis level
+// (fifo without one) — so QoS is a pathfinding objective and the scheduler
+// a design dimension:
+//
+//	pathfind -bench VA -axes "link=1,2,4;policy=fifo,wfq,slo" -pareto -goals p99,cost
 //
 // With -store, finished points persist in a content-addressed result store:
 // interrupt an exploration (Ctrl-C) and rerun the same command to resume
@@ -50,8 +56,10 @@
 //
 // Axis grammar: semicolon-separated "name=v1,v2,..." with axes tasklets,
 // dpus, freq (MHz), link (bandwidth multiplier), ilp (subsets of DRSF or
-// "base"), mode (scratchpad, cache, simt). Infeasible combinations (e.g.
-// SIMT on a benchmark without a SIMT kernel) are constrained out.
+// "base"), mode (scratchpad, cache, simt), policy (fifo, wfq, slo — host
+// software, scored by the p99 goal, free on the simulated point so all its
+// levels share one store entry). Infeasible combinations (e.g. SIMT on a
+// benchmark without a SIMT kernel) are constrained out.
 package main
 
 import (
@@ -86,13 +94,13 @@ func main() {
 func run() int {
 	var (
 		bench     = flag.String("bench", "", "comma-separated benchmark subset (default: all 16)")
-		axesSpec  = flag.String("axes", defaultAxes, "design axes: \"name=v1,v2;...\" over tasklets, dpus, freq, link, ilp, mode")
+		axesSpec  = flag.String("axes", defaultAxes, "design axes: \"name=v1,v2;...\" over tasklets, dpus, freq, link, ilp, mode, policy")
 		scale     = flag.String("scale", "tiny", "dataset scale: tiny, small or paper")
 		dpus      = flag.Int("dpus", 1, "base DPU count (a dpus axis overrides it)")
 		storeDir  = flag.String("store", "", "persistent result store directory (enables resume; empty = no persistence)")
 		resume    = flag.Bool("resume", true, "serve previously finished points from the store; -resume=false re-simulates (and refreshes) every point")
 		pareto    = flag.Bool("pareto", false, "print the per-benchmark Pareto frontier (see -goals) and ranked best configs")
-		goals     = flag.String("goals", "time,cost", "comma-separated Pareto objectives for -pareto: time, kernel, cost, energy, edp")
+		goals     = flag.String("goals", "time,cost", "comma-separated Pareto objectives for -pareto: time, kernel, cost, energy, edp, p99")
 		profile   = flag.String("profile", "", "energy TechProfile JSON overriding the committed default (used by the energy/edp goals and -energy)")
 		energyT   = flag.Bool("energy", false, "print the per-point energy breakdown table")
 		top       = flag.Int("top", 3, "designs per benchmark in the best-config ranking")

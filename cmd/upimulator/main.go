@@ -5,6 +5,11 @@
 // Usage:
 //
 //	upimulator -kernel VA -threads 16 -dpus 4 -mode scratchpad -scale small
+//
+// The serve subcommand evaluates the system as a multi-tenant server
+// under an open-loop request stream instead of a single closed run:
+//
+//	upimulator serve -tenants "alpha=VA+RED:3;beta=BS:1" -policy wfq -load 0.9
 package main
 
 import (
@@ -19,6 +24,9 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		os.Exit(serveMain(os.Args[2:]))
+	}
 	var (
 		kernel  = flag.String("kernel", "VA", "PrIM benchmark name ("+strings.Join(upim.Benchmarks(), ", ")+")")
 		threads = flag.Int("threads", 16, "tasklets per DPU (1-16 for PrIM kernels)")

@@ -71,6 +71,10 @@ var (
 	AxisILP = explore.ILP
 	// AxisModes sweeps the memory-hierarchy variant (scratchpad/cache/simt).
 	AxisModes = explore.Modes
+	// AxisPolicies sweeps the serving scheduler policy (fifo/wfq/slo) — a
+	// host-software axis scored by GoalP99, free and no-op on the simulated
+	// point, so every level shares one store entry.
+	AxisPolicies = explore.Policies
 	// NewDesignAxis builds a custom axis from explicit levels.
 	NewDesignAxis = explore.NewAxis
 )
@@ -113,6 +117,10 @@ var (
 	GoalEnergy = explore.GoalEnergy
 	// GoalEDP is the energy-delay product in µJ·ms under a TechProfile.
 	GoalEDP = explore.GoalEDP
+	// GoalP99 is served p99 tail latency in ms under the canned two-tenant
+	// workload, scheduled by the point's "policy" axis level (fifo without
+	// one) — the QoS pathfinding goal.
+	GoalP99 = explore.GoalP99
 )
 
 // ParseGoals parses a comma-separated goal spec ("time,cost",

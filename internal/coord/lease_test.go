@@ -100,6 +100,62 @@ func TestLeaseProtocol(t *testing.T) {
 			},
 		},
 		{
+			// The heartbeat-after-expiry race: the zombie's renewal is itself
+			// the first call to observe the expiry (no Lease ran in between),
+			// so the lazy reclaim inside Renew must fire before the lease
+			// check. A late heartbeat must never resurrect the stale grant.
+			name: "renew_is_first_observer_of_expiry", points: 2, shard: 2,
+			steps: []leaseStep{
+				{op: "lease", worker: "w0", wantShard: 0, wantGen: 1},
+				{op: "advance", d: ttl + time.Millisecond},
+				// Reclaim has not run yet — this renewal triggers it, and must
+				// be rejected rather than re-extend the expired lease.
+				{op: "renew", grant: 0, wantErr: ErrLeaseLost},
+				// The shard the rejection reclaimed is grantable with a bumped
+				// generation; had the renewal re-extended it, this would be nil.
+				{op: "lease", worker: "w1", wantShard: 0, wantGen: 2},
+				{op: "complete", grant: 1},
+			},
+		},
+		{
+			// After reclaim AND re-grant, the generation fence does the work:
+			// the zombie's heartbeats bounce while the new holder's renewals
+			// on the same shard keep succeeding.
+			name: "generation_fences_regranted_shard", points: 2, shard: 2,
+			steps: []leaseStep{
+				{op: "lease", worker: "w0", wantShard: 0, wantGen: 1},
+				{op: "advance", d: ttl + time.Millisecond},
+				{op: "lease", worker: "w1", wantShard: 0, wantGen: 2},
+				{op: "renew", grant: 0, wantErr: ErrLeaseLost},
+				{op: "renew", grant: 1},
+				{op: "advance", d: ttl - time.Second},
+				// Interleaved: the zombie keeps heartbeating, the new holder
+				// keeps renewing — stale rejections must not disturb the live
+				// lease or its expiry.
+				{op: "renew", grant: 0, wantErr: ErrLeaseLost},
+				{op: "renew", grant: 1},
+				{op: "complete", grant: 0, wantErr: ErrLeaseLost},
+				{op: "complete", grant: 1},
+			},
+		},
+		{
+			// A rejected zombie renew/complete must not re-queue the shard a
+			// second time: after the reclaim there is exactly one grant to
+			// hand out, and once it is taken the queue is empty.
+			name: "zombie_rejection_does_not_double_queue", points: 2, shard: 2,
+			steps: []leaseStep{
+				{op: "lease", worker: "w0", wantShard: 0, wantGen: 1},
+				{op: "advance", d: ttl + time.Millisecond},
+				{op: "renew", grant: 0, wantErr: ErrLeaseLost},
+				{op: "complete", grant: 0, wantErr: ErrLeaseLost},
+				{op: "lease", worker: "w1", wantShard: 0, wantGen: 2},
+				// Were the shard queued once per rejection, this would grant
+				// the same shard to a second concurrent holder.
+				{op: "lease", worker: "w2", wantNil: true},
+				{op: "complete", grant: 1},
+			},
+		},
+		{
 			name: "reclaim_requeues_at_back", points: 6, shard: 2,
 			steps: []leaseStep{
 				{op: "lease", worker: "w0", wantShard: 0, wantGen: 1},

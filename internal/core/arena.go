@@ -52,21 +52,29 @@ func NewInArena(a *Arena, id int, prog *linker.Program, cfg config.Config) (*DPU
 	if err := d.reinit(id, prog, cfg); err != nil {
 		// A half-reinitialized shell is still structurally sound (reinit
 		// only fails before any run state accrues); return it to the pool.
+		d.released = true
 		a.free = append(a.free, d)
 		return nil, err
 	}
 	d.arena = a
+	d.released = false
 	return d, nil
 }
 
 // Release returns the DPU's shell to its arena for reuse. It is a no-op for
-// DPUs built by New, and idempotent: the second call on the same DPU does
-// nothing. The caller must not use the DPU (or views into it) afterwards.
+// DPUs built by New. The caller must not use the DPU (or views into it)
+// afterwards: a second Release on an arena shell panics — silently
+// appending the same shell twice would hand it to two owners and corrupt
+// the free list — and Run on a released shell panics likewise.
 func (d *DPU) Release() {
+	if d.released {
+		panic("core: DPU.Release called twice on the same arena shell")
+	}
 	a := d.arena
 	if a == nil {
 		return
 	}
 	d.arena = nil
+	d.released = true
 	a.free = append(a.free, d)
 }

@@ -70,10 +70,23 @@ func TestArenaRecycledShellBitIdentical(t *testing.T) {
 	}
 }
 
-// TestArenaReleaseIdempotent checks Release's contract: a second Release (or
-// one on a plainly-allocated DPU) is a no-op, and a released shell is handed
-// back out by the next NewInArena.
-func TestArenaReleaseIdempotent(t *testing.T) {
+// mustPanic runs f and fails the test unless it panics.
+func mustPanic(t *testing.T, what string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s did not panic", what)
+		}
+	}()
+	f()
+}
+
+// TestArenaReleaseMisuse checks Release's contract: releasing a
+// plainly-allocated DPU is a no-op, but double-Release and use-after-Release
+// of an arena shell fail loudly instead of silently corrupting the free list
+// (double-append would hand the same shell to two owners) or reading storage
+// the next NewInArena is about to recycle.
+func TestArenaReleaseMisuse(t *testing.T) {
 	cfg := config.Default()
 	cfg.NumTasklets = 2
 	prog, err := linker.Link(counterKernel(), cfg)
@@ -86,6 +99,10 @@ func TestArenaReleaseIdempotent(t *testing.T) {
 		t.Fatalf("New: %v", err)
 	}
 	plain.Release() // no arena: must be a no-op
+	plain.Release() // and stay one on repeat
+	if err := plain.Run(context.Background(), testWatchdog); err != nil {
+		t.Fatalf("Run after no-op Release on a plain DPU: %v", err)
+	}
 
 	a := NewArena()
 	d, err := NewInArena(a, 0, prog, cfg)
@@ -93,10 +110,17 @@ func TestArenaReleaseIdempotent(t *testing.T) {
 		t.Fatalf("NewInArena: %v", err)
 	}
 	d.Release()
-	d.Release()
+	if a.Size() != 1 {
+		t.Fatalf("arena holds %d shells after Release, want 1", a.Size())
+	}
+	mustPanic(t, "double Release of an arena shell", func() { d.Release() })
 	if a.Size() != 1 {
 		t.Fatalf("double Release grew the arena to %d shells", a.Size())
 	}
+	mustPanic(t, "Run on a released shell", func() { _ = d.Run(context.Background(), testWatchdog) })
+
+	// The released shell is still recyclable, and once handed back out it is
+	// a live DPU again: Run works, and one Release is accepted.
 	d2, err := NewInArena(a, 0, prog, cfg)
 	if err != nil {
 		t.Fatalf("NewInArena (recycled): %v", err)
@@ -106,5 +130,12 @@ func TestArenaReleaseIdempotent(t *testing.T) {
 	}
 	if a.Size() != 0 {
 		t.Fatalf("arena still holds %d shells while one is checked out", a.Size())
+	}
+	if err := d2.Run(context.Background(), testWatchdog); err != nil {
+		t.Fatalf("Run on a recycled shell: %v", err)
+	}
+	d2.Release()
+	if a.Size() != 1 {
+		t.Fatalf("arena holds %d shells after re-Release, want 1", a.Size())
 	}
 }

@@ -412,6 +412,11 @@ type DPU struct {
 	// arena is the owning Arena, nil for standalone DPUs; set by NewInArena
 	// and cleared by Release.
 	arena *Arena
+	// released marks a shell sitting in an arena free list. Release panics
+	// when it is already set (double-Release) and Run refuses a released
+	// shell (use-after-Release) — both would silently corrupt the free list
+	// or read storage the next NewInArena is about to recycle.
+	released bool
 }
 
 // sinkKind selects how a burst completion is routed (see dispatch). Typed
@@ -649,6 +654,9 @@ const ctxCheckInterval = 1 << 13
 // a budget of maxCycles beyond the current clock as a runaway/deadlock
 // watchdog. Cancelling ctx aborts the run with ctx.Err().
 func (d *DPU) Run(ctx context.Context, maxCycles uint64) error {
+	if d.released {
+		panic("core: Run on a released DPU shell (its storage belongs to the arena and may be recycled)")
+	}
 	if ctx == nil {
 		ctx = context.Background()
 	}

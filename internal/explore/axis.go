@@ -6,6 +6,7 @@ import (
 
 	"upim/internal/config"
 	"upim/internal/engine"
+	"upim/internal/serve"
 )
 
 // Level is one setting of a design axis: a display label, the mutation it
@@ -185,6 +186,26 @@ func Modes(modes ...config.Mode) Axis {
 			Label: m.String(),
 			Cost:  cost,
 			Apply: func(p *engine.Point) { p.Config.Mode = m },
+		})
+	}
+	return mustLevels(a)
+}
+
+// Policies sweeps the serving scheduler policy GoalP99 scores a point
+// under (see serve.NewPolicy for the vocabulary: fifo, wfq, slo). The
+// policy is host software — it never changes the simulated point, so
+// Apply is a no-op and every level costs 0. All levels of this axis share
+// one simulation: the point's store key is policy-independent, so a sweep
+// over N policies simulates once and serves N-1 levels from the store.
+func Policies(names ...string) Axis {
+	a := Axis{Name: "policy"}
+	for _, n := range names {
+		if _, err := serve.NewPolicy(n, nil); err != nil {
+			panic("explore: " + err.Error())
+		}
+		a.Levels = append(a.Levels, Level{
+			Label: n,
+			Apply: func(*engine.Point) {},
 		})
 	}
 	return mustLevels(a)

@@ -74,6 +74,12 @@ func httpHarness(t *testing.T) storetest.Harness {
 				t.Fatal(err)
 			}
 		},
+		// Reads execute in the server process, so the corrupt counter the
+		// accounting subtest must watch is the server store's, not the
+		// client's.
+		CorruptCount: func(t *testing.T, b explore.Backend) int64 {
+			return servers[b].Stats().Corrupt
+		},
 	}
 }
 

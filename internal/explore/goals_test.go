@@ -86,12 +86,65 @@ func TestEnergyGoalsOnExploration(t *testing.T) {
 }
 
 func TestFormatAxesInverse(t *testing.T) {
-	spec := "tasklets=1,4,16;dpus=1,4;freq=175,350;link=1,2,4;ilp=base,D,DRSF;mode=scratchpad,cache"
+	spec := "tasklets=1,4,16;dpus=1,4;freq=175,350;link=1,2,4;ilp=base,D,DRSF;mode=scratchpad,cache;policy=fifo,wfq,slo"
 	axes, err := ParseAxes(spec)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if got := FormatAxes(axes); got != spec {
 		t.Fatalf("FormatAxes = %q, want the canonical input %q", got, spec)
+	}
+}
+
+func TestPolicyAxisParse(t *testing.T) {
+	if _, err := ParseAxes("policy=lifo"); err == nil || !strings.Contains(err.Error(), "unknown policy") {
+		t.Errorf("ParseAxes(policy=lifo) error = %v, want unknown policy", err)
+	}
+	axes, err := ParseAxes("policy=fifo,slo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range axes[0].Levels {
+		if l.Cost != 0 {
+			t.Errorf("policy level %q costs %v, want 0 (host software is free)", l.Label, l.Cost)
+		}
+	}
+}
+
+// TestGoalP99OnExploration sweeps a policy axis and checks the QoS goal:
+// deterministic, positive, policy extracted from the point's design, and
+// simulation-point-invariant across policy levels (same EP, same store key).
+func TestGoalP99OnExploration(t *testing.T) {
+	s := NewSpace([]string{"VA"}, Policies("fifo", "wfq"))
+	s.Scale = prim.ScaleTiny
+	x, err := New(Options{Parallelism: 2}).Explore(context.Background(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(x.Outcomes) != 2 {
+		t.Fatalf("outcomes = %d, want 2", len(x.Outcomes))
+	}
+	if a, b := KeyOf(x.Points[0].EP), KeyOf(x.Points[1].EP); a != b {
+		t.Errorf("policy levels have distinct store keys %s vs %s — the axis must be simulation-invariant", a, b)
+	}
+	g := GoalP99()
+	for _, o := range x.Outcomes {
+		want := policyOf(o.Point)
+		if want != o.Point.Labels[0] {
+			t.Errorf("policyOf(%q) = %q, want %q", o.Point.Design, want, o.Point.Labels[0])
+		}
+		v1, v2 := g.Value(o), g.Value(o)
+		if v1 != v2 {
+			t.Errorf("%s: GoalP99 nondeterministic: %v vs %v", o.Point.Design, v1, v2)
+		}
+		if v1 <= 0 {
+			t.Errorf("%s: GoalP99 = %v, want > 0", o.Point.Design, v1)
+		}
+	}
+	if got := policyOf(Point{Design: "base"}); got != "fifo" {
+		t.Errorf("policyOf(no axis) = %q, want fifo", got)
+	}
+	if len(Pareto(x.Outcomes, g, GoalCost())) == 0 {
+		t.Error("empty p99/cost frontier")
 	}
 }

@@ -1,6 +1,12 @@
 package explore
 
-import "upim/internal/energy"
+import (
+	"math"
+	"strings"
+
+	"upim/internal/energy"
+	"upim/internal/serve"
+)
 
 // Goal is one Pareto objective extracted from a successful outcome. Lower
 // values are better for every goal (maximization goals negate).
@@ -92,6 +98,45 @@ func GoalEDP(p *energy.TechProfile) Goal {
 		},
 		Est: func(o Outcome) float64 { return o.Estimate.EDPMicroJouleMS() },
 	}
+}
+
+// GoalP99 is the tail-latency QoS objective: the p99 request latency in
+// milliseconds when the point serves the canned two-tenant open-loop
+// workload (serve.EvalP99), scheduled by the policy the point's "policy"
+// axis selects (fifo when the space has no policy axis). The canned
+// workload is frozen and the evaluation deterministic, so p99 is as
+// comparable — and as cacheable — as any other goal, and a Policies axis
+// turns scheduling itself into a pathfinding dimension.
+func GoalP99() Goal {
+	return Goal{
+		Name: "p99",
+		Unit: "ms",
+		Value: func(o Outcome) float64 {
+			v, err := serve.EvalP99(o.Result, policyOf(o.Point))
+			if err != nil {
+				return math.NaN()
+			}
+			return v
+		},
+		Est: func(o Outcome) float64 {
+			v, err := serve.EvalP99Estimate(o.Estimate.TotalSeconds, o.Point.Benchmark, policyOf(o.Point))
+			if err != nil {
+				return math.NaN()
+			}
+			return v
+		},
+	}
+}
+
+// policyOf extracts the point's "policy" axis label from its Design
+// string, defaulting to fifo for spaces without a policy axis.
+func policyOf(p Point) string {
+	for _, tok := range strings.Fields(p.Design) {
+		if v, ok := strings.CutPrefix(tok, "policy="); ok {
+			return v
+		}
+	}
+	return "fifo"
 }
 
 // Pareto returns the Pareto frontier of the given outcomes under the goals:

@@ -7,6 +7,7 @@ import (
 
 	"upim/internal/config"
 	"upim/internal/energy"
+	"upim/internal/serve"
 )
 
 // ParseAxes parses a CLI axis specification into typed axes. The grammar is
@@ -15,8 +16,9 @@ import (
 //	tasklets=1,4,16;ilp=base,D,DRSF;link=1,2,4;mode=scratchpad,cache
 //
 // Known axes: tasklets, dpus, freq (MHz), link (bandwidth multiplier), ilp
-// (subsets of DRSF, "base" for none), mode (scratchpad, cache, simt). Axes
-// are applied to each point in specification order.
+// (subsets of DRSF, "base" for none), mode (scratchpad, cache, simt) and
+// policy (serving scheduler: fifo, wfq, slo — a host-software axis for the
+// p99 goal). Axes are applied to each point in specification order.
 func ParseAxes(spec string) ([]Axis, error) {
 	var axes []Axis
 	for _, part := range strings.Split(spec, ";") {
@@ -83,6 +85,13 @@ func buildAxis(name string, values []string) (Axis, error) {
 			}
 		}
 		return ILP(values...), nil
+	case "policy":
+		for _, v := range values {
+			if _, err := serve.NewPolicy(v, nil); err != nil {
+				return Axis{}, fmt.Errorf("explore: axis \"policy\": %w", err)
+			}
+		}
+		return Policies(values...), nil
 	case "mode":
 		modes := make([]config.Mode, len(values))
 		for i, v := range values {
@@ -99,7 +108,7 @@ func buildAxis(name string, values []string) (Axis, error) {
 		}
 		return Modes(modes...), nil
 	default:
-		return Axis{}, fmt.Errorf("explore: unknown axis %q (want tasklets, dpus, freq, link, ilp or mode)", name)
+		return Axis{}, fmt.Errorf("explore: unknown axis %q (want tasklets, dpus, freq, link, ilp, mode or policy)", name)
 	}
 }
 
@@ -126,13 +135,14 @@ func FormatAxes(axes []Axis) string {
 }
 
 // goalNamesList is the -goals vocabulary in display order.
-const goalNamesList = "time, kernel, cost, energy, edp"
+const goalNamesList = "time, kernel, cost, energy, edp, p99"
 
 // ParseGoals parses a comma-separated CLI goal specification — e.g.
 // "time,cost" or "energy,cost" — into Pareto objectives. Known goals: time
 // (end-to-end ms), kernel (kernel-only ms), cost (unitless hardware cost),
-// energy (total µJ) and edp (energy-delay product, µJ·ms); energy and edp
-// are computed under profile p (nil = the committed default). Errors name
+// energy (total µJ), edp (energy-delay product, µJ·ms) and p99 (served
+// tail latency, ms — see GoalP99); energy and edp are computed under
+// profile p (nil = the committed default). Errors name
 // the full valid vocabulary. Duplicate goals are rejected — a repeated
 // objective never changes a frontier.
 func ParseGoals(spec string, p *energy.TechProfile) ([]Goal, error) {
@@ -158,6 +168,8 @@ func ParseGoals(spec string, p *energy.TechProfile) ([]Goal, error) {
 			goals = append(goals, GoalEnergy(p))
 		case "edp":
 			goals = append(goals, GoalEDP(p))
+		case "p99":
+			goals = append(goals, GoalP99())
 		default:
 			return nil, fmt.Errorf("explore: unknown goal %q (want a comma-separated subset of: %s)", name, goalNamesList)
 		}

@@ -154,38 +154,51 @@ func (s *Store) path(key string) string {
 	return filepath.Join(s.dir, key[:2], key+".json")
 }
 
-// load reads and validates the entry for key. Undecodable entries, stale
-// formats, mismatched keys and unknown fidelity values all count as corrupt
-// and report a miss, so a stale or damaged store re-simulates rather than
-// failing the exploration — and, crucially, an entry whose fidelity this
-// code does not recognize is never served at all.
+// load reads and validates the entry for key, counting the outcome in the
+// read-side stats. Undecodable entries, stale formats, mismatched keys and
+// unknown fidelity values all count as corrupt and report a miss, so a
+// stale or damaged store re-simulates rather than failing the exploration —
+// and, crucially, an entry whose fidelity this code does not recognize is
+// never served at all.
 func (s *Store) load(key string) (*entry, bool) {
+	e, existed, ok := s.peek(key)
+	if !ok {
+		if existed {
+			s.corrupt.Add(1)
+		}
+		s.misses.Add(1)
+	}
+	return e, ok
+}
+
+// peek reads and validates the entry for key WITHOUT touching the stats
+// counters: existed reports whether an entry file was present at all (so a
+// counting caller can classify an invalid one as corrupt). Write-side
+// probes — PutEstimate's never-downgrade check — use peek directly, so a
+// corrupt entry that already degraded a Get/GetEstimate to a miss is not
+// double-counted when the retry writes its replacement back.
+func (s *Store) peek(key string) (e *entry, existed, ok bool) {
 	data, err := os.ReadFile(s.path(key))
 	if err != nil {
-		s.misses.Add(1)
-		return nil, false
+		return nil, false, false
 	}
-	var e entry
-	if err := json.Unmarshal(data, &e); err != nil || e.Format != storeFormat || e.Key != key {
-		s.corrupt.Add(1)
-		s.misses.Add(1)
-		return nil, false
+	var ent entry
+	if err := json.Unmarshal(data, &ent); err != nil || ent.Format != storeFormat || ent.Key != key {
+		return nil, true, false
 	}
-	switch e.Fidelity {
+	switch ent.Fidelity {
 	case FidelityExact:
-		if e.Result == nil {
+		if ent.Result == nil {
 			break
 		}
-		return &e, true
+		return &ent, true, true
 	case FidelityEstimate:
-		if e.Estimate == nil {
+		if ent.Estimate == nil {
 			break
 		}
-		return &e, true
+		return &ent, true, true
 	}
-	s.corrupt.Add(1)
-	s.misses.Add(1)
-	return nil, false
+	return nil, true, false
 }
 
 // Get returns the stored cycle-exact result for key, or ok=false when the
@@ -251,7 +264,10 @@ func (s *Store) PutEstimate(key string, p engine.Point, est *estimate.Estimate) 
 	if est == nil {
 		return fmt.Errorf("explore: refusing to store a nil estimate for %s", key)
 	}
-	if e, ok := s.load(key); ok && e.Fidelity == FidelityExact {
+	// peek, not load: this probe is a write-side check, and counting it
+	// would double-book a corrupt entry the preceding GetEstimate already
+	// booked (and inflate Misses with probes that never served a read).
+	if e, _, ok := s.peek(key); ok && e.Fidelity == FidelityExact {
 		return nil
 	}
 	return s.write(key, entry{Format: storeFormat, Key: key, Point: p, Fidelity: FidelityEstimate, Estimate: est})

@@ -25,6 +25,11 @@ import (
 type Harness struct {
 	New     func(t *testing.T) explore.Backend
 	Corrupt func(t *testing.T, b explore.Backend, key string)
+	// CorruptCount returns the backend's corrupt-entry counter wherever the
+	// entries physically live (for remote backends that means server-side);
+	// nil falls back to b.Stats().Corrupt. Used by the corrupt-accounting
+	// subtest, which needs the counter of whichever process does the reads.
+	CorruptCount func(t *testing.T, b explore.Backend) int64
 }
 
 // testKey fabricates a valid-shaped content address: deterministic 64-char
@@ -202,6 +207,63 @@ func Run(t *testing.T, h Harness) {
 			t.Fatal("Get missed after repairing a corrupted entry")
 		}
 		sameJSON(t, want, got)
+	})
+
+	t.Run("CorruptCountedOncePerRead", func(t *testing.T) {
+		if h.Corrupt == nil {
+			t.Skip("harness has no corruption hook")
+		}
+		b := h.New(t)
+		count := func() int64 {
+			if h.CorruptCount != nil {
+				return h.CorruptCount(t, b)
+			}
+			return b.Stats().Corrupt
+		}
+		// Estimate path: GetEstimate on a corrupt entry books it once; the
+		// retry's PutEstimate probes the same entry for never-downgrade, and
+		// that write-side probe must NOT book it again.
+		key := testKey(9)
+		if err := b.PutEstimate(key, testPoint(9), testEstimate(9)); err != nil {
+			t.Fatal(err)
+		}
+		h.Corrupt(t, b, key)
+		before := count()
+		if _, ok := b.GetEstimate(key); ok {
+			t.Fatal("GetEstimate served a corrupted entry")
+		}
+		if got := count(); got != before+1 {
+			t.Fatalf("Corrupt after read = %d, want %d", got, before+1)
+		}
+		if err := b.PutEstimate(key, testPoint(9), testEstimate(10)); err != nil {
+			t.Fatal(err)
+		}
+		if got := count(); got != before+1 {
+			t.Fatalf("Corrupt after repair PutEstimate = %d, want %d (write-side probe double-counted)", got, before+1)
+		}
+		if _, ok := b.GetEstimate(key); !ok {
+			t.Fatal("GetEstimate missed after repairing a corrupted entry")
+		}
+
+		// Exact path: Get books once, the repairing Put books nothing.
+		key = testKey(10)
+		if err := b.Put(key, testPoint(10), testResult(10)); err != nil {
+			t.Fatal(err)
+		}
+		h.Corrupt(t, b, key)
+		before = count()
+		if _, ok := b.Get(key); ok {
+			t.Fatal("Get served a corrupted entry")
+		}
+		if got := count(); got != before+1 {
+			t.Fatalf("Corrupt after exact read = %d, want %d", got, before+1)
+		}
+		if err := b.Put(key, testPoint(10), testResult(11)); err != nil {
+			t.Fatal(err)
+		}
+		if got := count(); got != before+1 {
+			t.Fatalf("Corrupt after repair Put = %d, want %d", got, before+1)
+		}
 	})
 
 	t.Run("ConcurrentPutGet", func(t *testing.T) {

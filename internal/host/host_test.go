@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"math"
+	"runtime"
 	"strings"
 	"testing"
 
@@ -350,6 +351,35 @@ func TestLaunchWrapsFailingDPUIndex(t *testing.T) {
 	err = s.Launch(context.Background())
 	if err == nil || !strings.Contains(err.Error(), "dpu 2") || !strings.Contains(err.Error(), "software fault") {
 		t.Fatalf("err = %v, want a dpu-2 software fault", err)
+	}
+}
+
+// TestLaunchBatchedErrorGlobalIndex pins error attribution under
+// contiguous-range batching: with far more DPUs than workers, each worker
+// owns a multi-DPU batch, and a failure deep inside a later batch must be
+// reported by its global DPU index, not its offset within the batch (a
+// batch-local bug would report "dpu 29" here, not "dpu 61").
+func TestLaunchBatchedErrorGlobalIndex(t *testing.T) {
+	prev := runtime.GOMAXPROCS(2) // exactly 2 workers -> two 32-DPU batches
+	defer runtime.GOMAXPROCS(prev)
+
+	const n, failing = 64, 61
+	b := kbuild.New("fault-global")
+	r0 := kbuild.R(0)
+	b.Mov(r0, kbuild.DPUID)
+	b.Jnei(r0, failing, "ok")
+	b.Fault(r0, 1)
+	b.Label("ok")
+	b.Stop()
+	cfg := config.Default()
+	cfg.NumTasklets = 1
+	s, err := NewSystem(b.MustBuild(), cfg, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = s.Launch(context.Background())
+	if err == nil || !strings.Contains(err.Error(), "dpu 61") || !strings.Contains(err.Error(), "software fault") {
+		t.Fatalf("err = %v, want a dpu-61 software fault (global index, not batch offset)", err)
 	}
 }
 

@@ -8,6 +8,6 @@
 // overhead the paper reports as 0.8% average / 14.1% max — the evidence
 // behind its argument that PIM can afford virtual memory, and with it the
 // multi-tenant isolation that commercial deployment requires (see
-// examples/multitenant). The `mmu` experiment in internal/figures
+// examples/serving). The `mmu` experiment in internal/figures
 // regenerates the study.
 package mmu

@@ -1,0 +1,103 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// tenantSeed derives a per-tenant RNG seed from the run seed and the
+// tenant's name, so adding a tenant never perturbs another tenant's
+// arrival stream (FNV-1a over the name, mixed into the run seed).
+func tenantSeed(seed int64, name string) int64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	return seed ^ int64(h&math.MaxInt64)
+}
+
+// poissonRequests generates every tenant's open-loop Poisson arrival
+// stream and merges them into one globally-ordered request sequence.
+// Each tenant draws from its own seeded RNG, so streams are independent
+// and the merged order is a pure function of (seed, tenants).
+func poissonRequests(opts Options, tenants []tenant) []Request {
+	var reqs []Request
+	for ti, t := range tenants {
+		rng := rand.New(rand.NewSource(tenantSeed(opts.Seed, t.Name)))
+		now := 0.0
+		for i := 0; i < t.Requests; i++ {
+			// Exponential inter-arrival gap at the tenant's rate.
+			now += rng.ExpFloat64() / t.Rate
+			reqs = append(reqs, Request{
+				Tenant:    t.Name,
+				Class:     t.SLOClass,
+				Benchmark: t.Mix[rng.Intn(len(t.Mix))],
+				Arrival:   now,
+				// ID temporarily holds the tenant index for the merge
+				// tie-break; reassigned below.
+				ID: ti,
+			})
+		}
+	}
+	// Deterministic merge: by arrival time, ties broken by tenant order
+	// (stable within a tenant because each stream is already ordered).
+	sort.SliceStable(reqs, func(i, j int) bool {
+		if reqs[i].Arrival != reqs[j].Arrival {
+			return reqs[i].Arrival < reqs[j].Arrival
+		}
+		return reqs[i].ID < reqs[j].ID
+	})
+	for i := range reqs {
+		reqs[i].ID = i
+	}
+	return reqs
+}
+
+// traceRequests validates an explicit trace and normalizes its IDs. The
+// trace replaces generation entirely: arrivals, tenants and benchmarks
+// come verbatim from the caller.
+func traceRequests(opts Options, tenants []tenant) ([]Request, error) {
+	byName := make(map[string]*tenant, len(tenants))
+	for i := range tenants {
+		byName[tenants[i].Name] = &tenants[i]
+	}
+	reqs := make([]Request, len(opts.Trace))
+	last := math.Inf(-1)
+	for i, r := range opts.Trace {
+		t, ok := byName[r.Tenant]
+		if !ok {
+			return nil, fmt.Errorf("serve: trace entry %d: unknown tenant %q", i, r.Tenant)
+		}
+		inMix := false
+		for _, b := range t.Mix {
+			if b == r.Benchmark {
+				inMix = true
+				break
+			}
+		}
+		if !inMix {
+			return nil, fmt.Errorf("serve: trace entry %d: benchmark %q not in tenant %q's mix", i, r.Benchmark, r.Tenant)
+		}
+		if r.Arrival < 0 || math.IsNaN(r.Arrival) {
+			return nil, fmt.Errorf("serve: trace entry %d: invalid arrival %v", i, r.Arrival)
+		}
+		if r.Arrival < last {
+			return nil, fmt.Errorf("serve: trace entry %d: arrival %v precedes entry %d (trace must be time-ordered)", i, r.Arrival, i-1)
+		}
+		last = r.Arrival
+		reqs[i] = Request{
+			ID:        i,
+			Tenant:    r.Tenant,
+			Class:     t.SLOClass,
+			Benchmark: r.Benchmark,
+			Arrival:   r.Arrival,
+		}
+		if r.Class != "" {
+			reqs[i].Class = r.Class
+		}
+	}
+	return reqs, nil
+}

@@ -1,0 +1,240 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+
+	"upim/internal/artifact"
+)
+
+// Metrics summarize a set of completed requests.
+type Metrics struct {
+	// Requests counts all arrivals; Dropped counts admission rejections.
+	Requests, Dropped int
+	// P50MS/P95MS/P99MS are nearest-rank latency percentiles in
+	// milliseconds over completed requests.
+	P50MS, P95MS, P99MS float64
+	// MeanMS is the mean completed-request latency in milliseconds.
+	MeanMS float64
+	// ThroughputRPS is completed requests per virtual second of makespan.
+	ThroughputRPS float64
+	// EnergyPerReqUJ is the mean modeled energy per completed request.
+	EnergyPerReqUJ float64
+	// SLOAttained is the fraction of completed requests that met their
+	// tenant's SLO target (dropped requests count as missed).
+	SLOAttained float64
+}
+
+// TenantMetrics are one tenant's Metrics plus its identity and SLO.
+type TenantMetrics struct {
+	Tenant   string
+	Class    string
+	TargetMS float64
+	Metrics
+}
+
+// percentile returns the nearest-rank p-th percentile (0 < p <= 100) of
+// sorted, or 0 when sorted is empty.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	// Nearest-rank: ceil(p/100 * n), 1-based.
+	rank := int(math.Ceil(float64(len(sorted)) * p / 100))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// metricsOf computes Metrics over recs, judging SLO attainment against
+// target (per-tenant target, or 0 overall to use each record's tenant
+// target via targets).
+func metricsOf(recs []Record, makespan float64, targets map[string]float64) Metrics {
+	var m Metrics
+	var lats []float64
+	var sumLat, sumE float64
+	met := 0
+	for _, r := range recs {
+		m.Requests++
+		if r.Dropped {
+			m.Dropped++
+			continue
+		}
+		l := r.Latency()
+		lats = append(lats, l)
+		sumLat += l
+		sumE += r.EnergyUJ
+		if r.SLOMet(targets[r.Tenant]) {
+			met++
+		}
+	}
+	sort.Float64s(lats)
+	done := len(lats)
+	m.P50MS = percentile(lats, 50) * 1e3
+	m.P95MS = percentile(lats, 95) * 1e3
+	m.P99MS = percentile(lats, 99) * 1e3
+	if done > 0 {
+		m.MeanMS = sumLat / float64(done) * 1e3
+		m.EnergyPerReqUJ = sumE / float64(done)
+	}
+	if makespan > 0 {
+		m.ThroughputRPS = float64(done) / makespan
+	}
+	if m.Requests > 0 {
+		m.SLOAttained = float64(met) / float64(m.Requests)
+	}
+	return m
+}
+
+// computeMetrics produces per-tenant metrics (in tenant order) and the
+// overall aggregate.
+func computeMetrics(tenants []tenant, records []Record) ([]TenantMetrics, Metrics) {
+	targets := make(map[string]float64, len(tenants))
+	for _, t := range tenants {
+		targets[t.Name] = t.SLOTarget
+	}
+	var makespan float64
+	for _, r := range records {
+		if !r.Dropped && r.Finish > makespan {
+			makespan = r.Finish
+		}
+	}
+	out := make([]TenantMetrics, len(tenants))
+	for i, t := range tenants {
+		var recs []Record
+		for _, r := range records {
+			if r.Tenant == t.Name {
+				recs = append(recs, r)
+			}
+		}
+		out[i] = TenantMetrics{
+			Tenant:   t.Name,
+			Class:    t.SLOClass,
+			TargetMS: t.SLOTarget * 1e3,
+			Metrics:  metricsOf(recs, makespan, targets),
+		}
+	}
+	return out, metricsOf(records, makespan, targets)
+}
+
+// num renders a full-precision numeric cell: the exact value is what
+// refdata comparison sees, the %.6g text is what reports show.
+func num(v float64) artifact.Value { return artifact.Raw(fmt.Sprintf("%.6g", v), v) }
+
+// RequestTable renders the per-request latency/energy record — the
+// serving analogue of a figure's data table, refdata-pinned at tiny
+// scale.
+func (r *Result) RequestTable() *artifact.Table {
+	tab := &artifact.Table{
+		Key:   "serve-requests",
+		ID:    "Serve",
+		Title: fmt.Sprintf("Per-request record (%s policy, load %.2f)", r.PolicyName, r.Load),
+		Scale: r.Scale.String(),
+		Columns: []artifact.Column{
+			{Name: "id"}, {Name: "tenant"}, {Name: "class"}, {Name: "benchmark"},
+			{Name: "arrival", Unit: "ms"}, {Name: "start", Unit: "ms"},
+			{Name: "finish", Unit: "ms"}, {Name: "latency", Unit: "ms"},
+			{Name: "batch"}, {Name: "energy", Unit: "uJ"}, {Name: "dropped"},
+		},
+	}
+	for _, rec := range r.Records {
+		if rec.Dropped {
+			tab.AddRow(
+				artifact.Int(rec.ID), artifact.Str(rec.Tenant), artifact.Str(rec.Class),
+				artifact.Str(rec.Benchmark),
+				num(rec.Arrival*1e3), num(0), num(0), num(0),
+				artifact.Int(0), num(0), artifact.Int(1),
+			)
+			continue
+		}
+		tab.AddRow(
+			artifact.Int(rec.ID), artifact.Str(rec.Tenant), artifact.Str(rec.Class),
+			artifact.Str(rec.Benchmark),
+			num(rec.Arrival*1e3), num(rec.Start*1e3),
+			num(rec.Finish*1e3), num(rec.Latency()*1e3),
+			artifact.Int(rec.Batch), num(rec.EnergyUJ), artifact.Int(0),
+		)
+	}
+	return tab
+}
+
+// SummaryTable renders per-tenant and overall serving metrics.
+func (r *Result) SummaryTable() *artifact.Table {
+	tab := &artifact.Table{
+		Key:   "serve-summary",
+		ID:    "Serve",
+		Title: fmt.Sprintf("Serving summary (%s policy, load %.2f, %d groups)", r.PolicyName, r.Load, r.Groups),
+		Scale: r.Scale.String(),
+		Columns: []artifact.Column{
+			{Name: "tenant"}, {Name: "class"}, {Name: "requests"}, {Name: "dropped"},
+			{Name: "p50", Unit: "ms"}, {Name: "p95", Unit: "ms"}, {Name: "p99", Unit: "ms"},
+			{Name: "mean", Unit: "ms"}, {Name: "throughput", Unit: "req/s"},
+			{Name: "energy/req", Unit: "uJ"}, {Name: "slo"},
+		},
+	}
+	row := func(name, class string, m Metrics) {
+		tab.AddRow(
+			artifact.Str(name), artifact.Str(class),
+			artifact.Int(m.Requests), artifact.Int(m.Dropped),
+			num(m.P50MS), num(m.P95MS), num(m.P99MS),
+			num(m.MeanMS), num(m.ThroughputRPS),
+			num(m.EnergyPerReqUJ), artifact.Pct(m.SLOAttained),
+		)
+	}
+	for _, t := range r.Tenants {
+		row(t.Tenant, t.Class, t.Metrics)
+	}
+	row("overall", "-", r.Overall)
+	return tab
+}
+
+// LoadSweep serves the same workload at every (policy, load) pair and
+// renders the p50/p99-vs-offered-load artifact — the QoS curve the
+// paper's serving argument turns on. Policies are named (fresh instances
+// per run via NewPolicy, so stateful policies never leak accounting
+// across runs).
+func LoadSweep(ctx context.Context, opts Options, policies []string, loads []float64) (*artifact.Table, error) {
+	base := opts.withDefaults()
+	tab := &artifact.Table{
+		Key:   "serve-load",
+		ID:    "Serve",
+		Title: "p50/p99 latency vs offered load by policy",
+		Scale: base.Scale.String(),
+		Columns: []artifact.Column{
+			{Name: "policy"}, {Name: "load"}, {Name: "tenant"},
+			{Name: "p50", Unit: "ms"}, {Name: "p99", Unit: "ms"},
+			{Name: "throughput", Unit: "req/s"}, {Name: "energy/req", Unit: "uJ"},
+		},
+	}
+	for _, name := range policies {
+		for _, load := range loads {
+			o := opts
+			o.Load = load
+			// Fresh per-run policy: wfq's served-time state must not carry
+			// from one (policy, load) cell to the next.
+			p, err := NewPolicy(name, opts.Tenants)
+			if err != nil {
+				return nil, err
+			}
+			o.Policy = p
+			res, err := Serve(ctx, o)
+			if err != nil {
+				return nil, fmt.Errorf("serve: load sweep %s@%.2f: %w", name, load, err)
+			}
+			for _, t := range res.Tenants {
+				tab.AddRow(
+					artifact.Str(name), num(load), artifact.Str(t.Tenant),
+					num(t.P50MS), num(t.P99MS),
+					num(t.ThroughputRPS), num(t.EnergyPerReqUJ),
+				)
+			}
+		}
+	}
+	return tab, nil
+}

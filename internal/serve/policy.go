@@ -1,0 +1,164 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Policy decides which pending request a freed rank group serves next.
+//
+// The contract is deliberately small and deterministic: Pick sees the
+// pending queue in arrival order and virtual-time now, and returns the
+// index of the request to serve (the scheduler then extends that request
+// into a batch of queued same-(tenant, benchmark) requests). Served is
+// the feedback edge — the scheduler reports every batch's tenant and
+// modeled service time so stateful policies (weighted-fair) can account
+// usage. Implementations must be pure functions of their inputs and
+// prior Served calls: no wall clock, no randomness — the determinism
+// invariant of the whole serving path rests on the policy honoring it.
+type Policy interface {
+	// Name identifies the policy in results, artifacts and the
+	// pathfinding axis vocabulary.
+	Name() string
+	// Pick returns the index into pending of the request to serve next.
+	// pending is non-empty and arrival-ordered; now is the current
+	// virtual time in seconds. Ties must break deterministically
+	// (conventionally: lowest index).
+	Pick(pending []*Request, now float64) int
+	// Served reports a dispatched batch: the issuing tenant and the
+	// batch's modeled service seconds.
+	Served(tenant string, seconds float64)
+}
+
+// FIFO returns the first-in-first-out policy: requests are served
+// strictly in arrival order, tenants share nothing but the queue.
+func FIFO() Policy { return fifo{} }
+
+type fifo struct{}
+
+func (fifo) Name() string                 { return "fifo" }
+func (fifo) Pick([]*Request, float64) int { return 0 }
+func (fifo) Served(string, float64)       {}
+
+// WeightedFair returns a weighted-fair policy: each tenant accrues
+// served time, and the pending request whose tenant has the least
+// served-time-per-weight goes next (ties: earliest arrival). weights
+// maps tenant name to share; missing or non-positive entries count as 1.
+func WeightedFair(weights map[string]float64) Policy {
+	w := make(map[string]float64, len(weights))
+	for k, v := range weights {
+		if v > 0 {
+			w[k] = v
+		}
+	}
+	return &weightedFair{weights: w, served: map[string]float64{}}
+}
+
+type weightedFair struct {
+	weights map[string]float64
+	served  map[string]float64
+}
+
+func (*weightedFair) Name() string { return "wfq" }
+
+func (p *weightedFair) share(tenant string) float64 {
+	if w, ok := p.weights[tenant]; ok {
+		return w
+	}
+	return 1
+}
+
+func (p *weightedFair) Pick(pending []*Request, _ float64) int {
+	best := 0
+	bestV := p.served[pending[0].Tenant] / p.share(pending[0].Tenant)
+	for i := 1; i < len(pending); i++ {
+		v := p.served[pending[i].Tenant] / p.share(pending[i].Tenant)
+		if v < bestV {
+			best, bestV = i, v
+		}
+	}
+	return best
+}
+
+func (p *weightedFair) Served(tenant string, seconds float64) {
+	p.served[tenant] += seconds
+}
+
+// SLOAware returns an earliest-deadline-first policy: each pending
+// request's deadline is its arrival plus its class's target, and the
+// tightest deadline goes next (ties: lowest index, i.e. earliest
+// arrival). targets maps SLO class to target seconds; classes without an
+// entry fall back to arrival order among themselves (deadline = arrival).
+func SLOAware(targets map[string]float64) Policy {
+	t := make(map[string]float64, len(targets))
+	for k, v := range targets {
+		if v > 0 {
+			t[k] = v
+		}
+	}
+	return &sloAware{targets: t}
+}
+
+type sloAware struct {
+	targets map[string]float64
+}
+
+func (*sloAware) Name() string { return "slo" }
+
+func (p *sloAware) Pick(pending []*Request, _ float64) int {
+	best := 0
+	bestD := pending[0].Arrival + p.targets[pending[0].Class]
+	for i := 1; i < len(pending); i++ {
+		d := pending[i].Arrival + p.targets[pending[i].Class]
+		if d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best
+}
+
+func (*sloAware) Served(string, float64) {}
+
+// PolicyNames lists the built-in policy vocabulary NewPolicy accepts,
+// sorted — the pathfinding axis and CLI flags validate against it.
+func PolicyNames() []string {
+	names := []string{"fifo", "wfq", "slo"}
+	sort.Strings(names)
+	return names
+}
+
+// NewPolicy constructs a built-in policy by name for a tenant set:
+// "fifo", "wfq" (weighted-fair over the tenants' weights) or "slo"
+// (earliest-deadline-first over the tenants' SLO targets). The tenant
+// slice may be nil for fifo; wfq and slo derive their parameters from it
+// (resolved defaults included), so the same name always yields the same
+// policy for the same workload.
+func NewPolicy(name string, tenants []Tenant) (Policy, error) {
+	switch name {
+	case "fifo", "":
+		return FIFO(), nil
+	case "wfq":
+		w := make(map[string]float64, len(tenants))
+		for _, t := range tenants {
+			if t.Weight > 0 {
+				w[t.Name] = t.Weight
+			}
+		}
+		return WeightedFair(w), nil
+	case "slo":
+		targets := make(map[string]float64, len(tenants))
+		for _, t := range tenants {
+			class := t.SLOClass
+			if class == "" {
+				class = t.Name
+			}
+			if t.SLOTarget > 0 {
+				targets[class] = t.SLOTarget
+			}
+		}
+		return SLOAware(targets), nil
+	default:
+		return nil, fmt.Errorf("serve: unknown policy %q (want %s)", name, strings.Join(PolicyNames(), ", "))
+	}
+}

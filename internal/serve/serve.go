@@ -1,0 +1,378 @@
+// Package serve evaluates the simulated PIM system as a *server under
+// load* rather than a closed sweep — the paper's case study 3 carried to
+// its datacenter conclusion: concurrent tenants, MMU-isolated, placed on
+// disjoint DPU rank groups, with request-level metrics (p50/p95/p99
+// latency, throughput, energy per request) no per-kernel sweep can
+// express.
+//
+// The design splits cleanly into a cycle-exact part and a queueing part:
+//
+//   - Profiling: every distinct (benchmark, rank-group) kernel a workload
+//     can issue is simulated once, cycle-exactly, through the shared sweep
+//     engine (arenas, build cache, MMU-enabled configuration). The profile
+//     captures the phase-bucketed service time and the event-level energy
+//     of one execution.
+//   - Serving: a virtual-time discrete-event loop replays an open-loop
+//     arrival stream (seeded Poisson or an explicit trace) against the
+//     profiled service times. A Policy picks the next request, the
+//     scheduler batches same-kind requests, and disjoint rank groups serve
+//     batches one at a time.
+//
+// No wall clock is ever read: arrivals, service and completion all happen
+// in virtual seconds, so a serving run is a pure function of its options —
+// repeat runs and runs at any engine parallelism produce byte-identical
+// request tables, the same bulk≡stepwise/resume discipline the rest of the
+// simulator is held to.
+package serve
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+
+	"upim/internal/config"
+	"upim/internal/energy"
+	"upim/internal/engine"
+	"upim/internal/host"
+	"upim/internal/prim"
+)
+
+// Tenant is one co-located workload: a name, the kernels it issues, its
+// weighted-fair share and its latency SLO.
+type Tenant struct {
+	// Name identifies the tenant in requests, metrics and artifacts.
+	Name string
+	// Mix lists the PrIM benchmarks the tenant issues; each request picks
+	// one via the tenant's seeded RNG. Must be non-empty.
+	Mix []string
+	// Weight is the weighted-fair share (PolicyWeightedFair); <= 0 means 1.
+	Weight float64
+	// SLOClass labels the tenant's latency class ("latency", "batch", ...).
+	// Empty defaults to the tenant name.
+	SLOClass string
+	// SLOTarget is the per-request latency target in virtual seconds
+	// (PolicySLO deadlines, SLO-attainment metrics). <= 0 auto-derives
+	// 3x the tenant's mean unbatched service time.
+	SLOTarget float64
+	// Rate is the tenant's Poisson arrival rate in requests per virtual
+	// second. <= 0 derives the rate from Options.Load and the tenant's
+	// weight (the offered-load knob the load sweep turns).
+	Rate float64
+	// Requests is how many requests the tenant emits (Poisson mode);
+	// <= 0 means Options.Requests.
+	Requests int
+}
+
+// Request is one arrival of the workload.
+type Request struct {
+	// ID is the global arrival index (assigned in merged arrival order).
+	ID int
+	// Tenant and Class identify the issuer.
+	Tenant string
+	Class  string
+	// Benchmark is the PrIM kernel the request runs.
+	Benchmark string
+	// Arrival is the request's arrival time in virtual seconds.
+	Arrival float64
+}
+
+// Record is one request's completed lifecycle.
+type Record struct {
+	Request
+	// Start and Finish bound the request's service in virtual seconds
+	// (Start includes queueing delay; Finish - Arrival is the latency).
+	Start, Finish float64
+	// Batch is the size of the launch the request rode in.
+	Batch int
+	// EnergyUJ is the request's share of its batch's modeled energy.
+	EnergyUJ float64
+	// Dropped marks a request rejected by admission control; dropped
+	// requests carry no Start/Finish/energy.
+	Dropped bool
+}
+
+// Latency returns the request's end-to-end latency in virtual seconds.
+func (r *Record) Latency() float64 { return r.Finish - r.Arrival }
+
+// SLOMet reports whether the request finished within target seconds.
+func (r *Record) SLOMet(target float64) bool {
+	return !r.Dropped && target > 0 && r.Latency() <= target
+}
+
+// Options parameterize one serving run.
+type Options struct {
+	// Tenants are the co-located workloads. At least one is required.
+	Tenants []Tenant
+	// Policy schedules pending requests (nil = FIFO).
+	Policy Policy
+	// Groups is the number of disjoint DPU rank groups (default 2). Each
+	// group serves one batch at a time.
+	Groups int
+	// GroupDPUs is the rank-group allocation size in DPUs (default 1).
+	GroupDPUs int
+	// MaxBatch bounds how many queued same-(tenant, benchmark) requests
+	// one launch may carry (default 4, 1 disables batching).
+	MaxBatch int
+	// Requests is the default per-tenant request count for Poisson
+	// generation (default 16). Ignored in trace mode.
+	Requests int
+	// Load is the target offered load as a fraction of the rank groups'
+	// aggregate service capacity (default 0.7); it derives per-tenant
+	// Poisson rates for tenants without an explicit Rate.
+	Load float64
+	// Seed seeds the arrival generator (default 1). Same seed, same
+	// workload — the determinism contract.
+	Seed int64
+	// Trace, when non-empty, replaces the Poisson generator with explicit
+	// arrivals (trace-driven mode). Entries must carry Tenant (known),
+	// Benchmark (in that tenant's Mix) and a non-decreasing Arrival; IDs
+	// are reassigned in order.
+	Trace []Request
+	// MaxQueue caps the pending queue; arrivals beyond it are dropped by
+	// admission control (0 = unbounded).
+	MaxQueue int
+
+	// Config is the per-DPU hardware configuration (zero value = Table I
+	// with the case-study 3 MMU enabled — tenants are isolated by
+	// translation, the paper's multi-tenancy requirement).
+	Config config.Config
+	// Scale selects dataset sizes for the profiled kernels.
+	Scale prim.Scale
+	// Parallelism bounds the profiling sweep's worker pool (<= 0 =
+	// GOMAXPROCS). It affects wall-clock time only, never results.
+	Parallelism int
+	// Watchdog bounds each profiled launch's per-DPU cycles (0 = default).
+	Watchdog uint64
+	// Cache reuses kernel builds across runs (nil = a private cache).
+	Cache *prim.BuildCache
+	// Profile prices the energy accounting (nil = the committed default).
+	Profile *energy.TechProfile
+}
+
+// withDefaults resolves defaulted options (pure; does not mutate o).
+func (o Options) withDefaults() Options {
+	if o.Policy == nil {
+		o.Policy = FIFO()
+	}
+	if o.Groups <= 0 {
+		o.Groups = 2
+	}
+	if o.GroupDPUs <= 0 {
+		o.GroupDPUs = 1
+	}
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 4
+	}
+	if o.Requests <= 0 {
+		o.Requests = 16
+	}
+	if o.Load <= 0 {
+		o.Load = 0.7
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Config == (config.Config{}) {
+		o.Config = config.Default()
+		o.Config.MMU.Enable = true
+		o.Config.MMU.Prefault = false
+	}
+	return o
+}
+
+// profile is one benchmark's cycle-exact service/energy characterization
+// on a rank group.
+type profile struct {
+	// inS is the CPU->DPU input staging time, paid once per batch (the
+	// shared operand set is broadcast).
+	inS float64
+	// perS is the per-request service time: kernel plus result extraction.
+	perS float64
+	// inUJ / perUJ split the energy the same way.
+	inUJ, perUJ float64
+}
+
+// service returns the modeled service time of a batch of k requests.
+func (p profile) service(k int) float64 { return p.inS + float64(k)*p.perS }
+
+// energyPerReq returns one request's share of a k-batch's energy in µJ.
+func (p profile) energyPerReq(k int) float64 { return p.inUJ/float64(k) + p.perUJ }
+
+// Result is one completed serving run.
+type Result struct {
+	// PolicyName names the scheduling policy the run used.
+	PolicyName string
+	// Groups and GroupDPUs echo the placement.
+	Groups, GroupDPUs int
+	// Load echoes the offered-load setting.
+	Load float64
+	// Scale is the dataset scale the kernels were profiled at.
+	Scale prim.Scale
+	// Records holds every request in ID (arrival) order, completed and
+	// dropped alike.
+	Records []Record
+	// Tenants holds per-tenant metrics in Options.Tenants order; Overall
+	// aggregates all tenants.
+	Tenants []TenantMetrics
+	Overall Metrics
+	// Makespan is the virtual time at which the last request finished.
+	Makespan float64
+}
+
+// Serve profiles the workload's kernels cycle-exactly and replays the
+// arrival stream through the scheduler. The returned Result is a pure
+// function of opts: repeat runs — at any Parallelism — are identical.
+func Serve(ctx context.Context, opts Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	opts = opts.withDefaults()
+	if len(opts.Tenants) == 0 {
+		return nil, fmt.Errorf("serve: no tenants (the request stream needs at least one issuer)")
+	}
+	for i, tn := range opts.Tenants {
+		if tn.Name == "" {
+			return nil, fmt.Errorf("serve: tenant %d has no name", i)
+		}
+		if len(tn.Mix) == 0 {
+			return nil, fmt.Errorf("serve: tenant %q has an empty benchmark mix", tn.Name)
+		}
+		for _, b := range tn.Mix {
+			if _, err := prim.ByName(b); err != nil {
+				return nil, fmt.Errorf("serve: tenant %q: %w", tn.Name, err)
+			}
+		}
+	}
+
+	profiles, err := profileKernels(ctx, opts)
+	if err != nil {
+		return nil, err
+	}
+	tenants := resolveTenants(opts, profiles)
+	var reqs []Request
+	if len(opts.Trace) > 0 {
+		reqs, err = traceRequests(opts, tenants)
+	} else {
+		reqs = poissonRequests(opts, tenants)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return simulate(opts, tenants, profiles, reqs), nil
+}
+
+// profileKernels simulates every distinct benchmark of the workload once on
+// a rank group, through the shared engine (arenas + build cache).
+func profileKernels(ctx context.Context, opts Options) (map[string]profile, error) {
+	seen := map[string]bool{}
+	var names []string
+	for _, tn := range opts.Tenants {
+		for _, b := range tn.Mix {
+			if !seen[b] {
+				seen[b] = true
+				names = append(names, b)
+			}
+		}
+	}
+	sort.Strings(names)
+	pts := make([]engine.Point, len(names))
+	for i, b := range names {
+		pts[i] = engine.Point{
+			Benchmark: b,
+			Config:    opts.Config,
+			DPUs:      opts.GroupDPUs,
+			Scale:     opts.Scale,
+			Watchdog:  opts.Watchdog,
+		}
+	}
+	cache := opts.Cache
+	if cache == nil {
+		cache = prim.NewBuildCache()
+	}
+	eng := engine.NewWithCache(opts.Parallelism, cache)
+	outs, err := eng.SweepAll(ctx, pts)
+	if err != nil {
+		return nil, fmt.Errorf("serve: profiling %s: %w", outs[firstErr(outs)].Point.Benchmark, err)
+	}
+	prof := energy.ResolveProfile(opts.Profile)
+	profiles := make(map[string]profile, len(names))
+	for i, o := range outs {
+		profiles[names[i]] = profileOf(o.Result, prof)
+	}
+	return profiles, nil
+}
+
+// profileOf splits one cycle-exact result into the batch-shared input part
+// and the per-request part.
+func profileOf(res *prim.Result, prof *energy.TechProfile) profile {
+	rep := res.Report
+	total := res.Energy(prof).MicroJoules()
+	in := energy.HostTransfer(prof, rep.BytesIn, 0).MicroJoules()
+	return profile{
+		inS:   rep.PhaseSeconds(host.PhaseInput),
+		perS:  rep.KernelSeconds + rep.PhaseSeconds(host.PhaseOutput) + rep.PhaseSeconds(host.PhaseExchange),
+		inUJ:  in,
+		perUJ: math.Max(0, total-in),
+	}
+}
+
+// firstErr finds the index of the first failed outcome (outs are
+// input-ordered after SweepAll).
+func firstErr(outs []engine.Outcome) int {
+	for i, o := range outs {
+		if o.Err != nil {
+			return i
+		}
+	}
+	return 0
+}
+
+// tenant is a Tenant with every defaulted field resolved against the
+// kernel profiles.
+type tenant struct {
+	Tenant
+	// meanS is the tenant's mean unbatched service time over its mix.
+	meanS float64
+}
+
+// resolveTenants fills derived tenant fields: class, weight, SLO target and
+// Poisson rate.
+func resolveTenants(opts Options, profiles map[string]profile) []tenant {
+	out := make([]tenant, len(opts.Tenants))
+	var weightSum float64
+	for _, tn := range opts.Tenants {
+		w := tn.Weight
+		if w <= 0 {
+			w = 1
+		}
+		weightSum += w
+	}
+	for i, tn := range opts.Tenants {
+		t := tenant{Tenant: tn}
+		if t.Weight <= 0 {
+			t.Weight = 1
+		}
+		if t.SLOClass == "" {
+			t.SLOClass = t.Name
+		}
+		if t.Requests <= 0 {
+			t.Requests = opts.Requests
+		}
+		for _, b := range t.Mix {
+			t.meanS += profiles[b].service(1)
+		}
+		t.meanS /= float64(len(t.Mix))
+		if t.SLOTarget <= 0 {
+			t.SLOTarget = 3 * t.meanS
+		}
+		if t.Rate <= 0 {
+			// The tenant's share of the groups' aggregate capacity at the
+			// target offered load: load * groups * (weight fraction) requests
+			// per mean service time.
+			t.Rate = opts.Load * float64(opts.Groups) * (t.Weight / weightSum) / t.meanS
+		}
+		out[i] = t
+	}
+	return out
+}

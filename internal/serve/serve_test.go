@@ -1,0 +1,364 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"upim/internal/config"
+	"upim/internal/prim"
+)
+
+// testOptions is the canonical tiny workload the tests serve: two
+// co-located tenants with distinct mixes, shares and SLO classes.
+func testOptions() Options {
+	return Options{
+		Tenants: []Tenant{
+			{Name: "alpha", Mix: []string{"VA", "RED"}, Weight: 3, SLOClass: "latency"},
+			{Name: "beta", Mix: []string{"BS"}, Weight: 1, SLOClass: "batch"},
+		},
+		Groups:   2,
+		Requests: 12,
+		Scale:    prim.ScaleTiny,
+		Seed:     7,
+	}
+}
+
+// tableJSON canonicalizes a run's request table for byte-comparison.
+func tableJSON(t *testing.T, r *Result) string {
+	t.Helper()
+	b, err := json.Marshal(r.RequestTable())
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	return string(b)
+}
+
+// TestServeDeterministic pins the determinism contract: repeat runs and
+// runs at different engine parallelism produce byte-identical request
+// tables (latencies, batches and energy included).
+func TestServeDeterministic(t *testing.T) {
+	ctx := context.Background()
+	opts := testOptions()
+	opts.Parallelism = 1
+	r1, err := Serve(ctx, opts)
+	if err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	opts = testOptions()
+	opts.Parallelism = 1
+	r2, err := Serve(ctx, opts)
+	if err != nil {
+		t.Fatalf("serve repeat: %v", err)
+	}
+	opts = testOptions()
+	opts.Parallelism = 8
+	r8, err := Serve(ctx, opts)
+	if err != nil {
+		t.Fatalf("serve jobs=8: %v", err)
+	}
+	j1, j2, j8 := tableJSON(t, r1), tableJSON(t, r2), tableJSON(t, r8)
+	if j1 != j2 {
+		t.Errorf("repeat run diverged:\n%s\n%s", j1, j2)
+	}
+	if j1 != j8 {
+		t.Errorf("jobs=1 vs jobs=8 diverged:\n%s\n%s", j1, j8)
+	}
+	if r1.Overall.Requests != 24 {
+		t.Errorf("Requests = %d, want 24", r1.Overall.Requests)
+	}
+	if r1.Overall.Dropped != 0 {
+		t.Errorf("Dropped = %d, want 0", r1.Overall.Dropped)
+	}
+	if r1.Overall.P99MS < r1.Overall.P50MS {
+		t.Errorf("p99 %v < p50 %v", r1.Overall.P99MS, r1.Overall.P50MS)
+	}
+	if r1.Overall.EnergyPerReqUJ <= 0 {
+		t.Errorf("energy/req = %v, want > 0", r1.Overall.EnergyPerReqUJ)
+	}
+	for _, rec := range r1.Records {
+		if rec.Start < rec.Arrival {
+			t.Errorf("req %d started %v before arrival %v", rec.ID, rec.Start, rec.Arrival)
+		}
+		if rec.Finish <= rec.Start {
+			t.Errorf("req %d finish %v <= start %v", rec.ID, rec.Finish, rec.Start)
+		}
+	}
+}
+
+// TestPoliciesDiffer drives the same contended workload through all three
+// policies and checks the schedules actually diverge — a policy knob that
+// changes nothing is not a knob.
+func TestPoliciesDiffer(t *testing.T) {
+	ctx := context.Background()
+	run := func(name string) *Result {
+		opts := testOptions()
+		opts.Groups = 1   // one group forces queueing, so policy order shows
+		opts.Load = 2.5   // oversubscribe: the queue stays contended
+		opts.MaxBatch = 1 // no batch amortization soaking up the backlog
+		p, err := NewPolicy(name, opts.Tenants)
+		if err != nil {
+			t.Fatalf("policy %s: %v", name, err)
+		}
+		opts.Policy = p
+		r, err := Serve(ctx, opts)
+		if err != nil {
+			t.Fatalf("serve %s: %v", name, err)
+		}
+		if r.PolicyName != name {
+			t.Errorf("PolicyName = %q, want %q", r.PolicyName, name)
+		}
+		return r
+	}
+	starts := func(r *Result) []float64 {
+		out := make([]float64, len(r.Records))
+		for i, rec := range r.Records {
+			out[i] = rec.Start
+		}
+		return out
+	}
+	fifo, wfq, slo := run("fifo"), run("wfq"), run("slo")
+	same := func(a, b []float64) bool {
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if same(starts(fifo), starts(wfq)) && same(starts(fifo), starts(slo)) {
+		t.Errorf("fifo, wfq and slo produced identical schedules under contention")
+	}
+}
+
+// TestWeightedFairFavorsWeight: under contention, the 3x-weight tenant's
+// mean latency must not be worse under wfq than the 1x tenant's by more
+// than it is under fifo — i.e. weight buys service share.
+func TestWeightedFairPick(t *testing.T) {
+	p := WeightedFair(map[string]float64{"a": 3, "b": 1})
+	reqs := []*Request{
+		{ID: 0, Tenant: "b", Arrival: 0},
+		{ID: 1, Tenant: "a", Arrival: 1},
+	}
+	// Equal served time: a's per-weight usage is lower, so a goes first
+	// despite arriving later.
+	p.Served("a", 1)
+	p.Served("b", 1)
+	if got := p.Pick(reqs, 2); got != 1 {
+		t.Errorf("Pick = %d, want 1 (tenant a, lower served/weight)", got)
+	}
+	// Ties break on lowest index.
+	p2 := WeightedFair(nil)
+	if got := p2.Pick(reqs, 2); got != 0 {
+		t.Errorf("tie Pick = %d, want 0", got)
+	}
+}
+
+func TestSLOAwarePick(t *testing.T) {
+	p := SLOAware(map[string]float64{"lat": 1, "batch": 100})
+	reqs := []*Request{
+		{ID: 0, Class: "batch", Arrival: 0},
+		{ID: 1, Class: "lat", Arrival: 5},
+	}
+	// batch deadline 100, lat deadline 6: lat wins despite arriving later.
+	if got := p.Pick(reqs, 5); got != 1 {
+		t.Errorf("Pick = %d, want 1 (tighter deadline)", got)
+	}
+}
+
+// TestTraceMode replays an explicit trace and checks validation errors.
+func TestTraceMode(t *testing.T) {
+	ctx := context.Background()
+	opts := testOptions()
+	opts.Trace = []Request{
+		{Tenant: "alpha", Benchmark: "VA", Arrival: 0},
+		{Tenant: "beta", Benchmark: "BS", Arrival: 0.001},
+		{Tenant: "alpha", Benchmark: "RED", Arrival: 0.002},
+	}
+	r, err := Serve(ctx, opts)
+	if err != nil {
+		t.Fatalf("trace serve: %v", err)
+	}
+	if len(r.Records) != 3 {
+		t.Fatalf("records = %d, want 3", len(r.Records))
+	}
+	for i, rec := range r.Records {
+		if rec.ID != i {
+			t.Errorf("record %d has ID %d", i, rec.ID)
+		}
+	}
+	if r.Records[0].Class != "latency" || r.Records[1].Class != "batch" {
+		t.Errorf("trace classes not inherited from tenants: %+v", r.Records[:2])
+	}
+
+	bad := []struct {
+		name  string
+		trace []Request
+		want  string
+	}{
+		{"unknown tenant", []Request{{Tenant: "ghost", Benchmark: "VA"}}, "unknown tenant"},
+		{"foreign benchmark", []Request{{Tenant: "beta", Benchmark: "VA"}}, "not in tenant"},
+		{"negative arrival", []Request{{Tenant: "alpha", Benchmark: "VA", Arrival: -1}}, "invalid arrival"},
+		{"out of order", []Request{
+			{Tenant: "alpha", Benchmark: "VA", Arrival: 2},
+			{Tenant: "alpha", Benchmark: "VA", Arrival: 1},
+		}, "time-ordered"},
+	}
+	for _, tc := range bad {
+		opts := testOptions()
+		opts.Trace = tc.trace
+		if _, err := Serve(ctx, opts); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestAdmissionControl pins MaxQueue: overflow arrivals are dropped,
+// counted, and excluded from latency stats.
+func TestAdmissionControl(t *testing.T) {
+	opts := testOptions()
+	opts.Groups = 1
+	opts.Load = 3 // flood
+	opts.MaxQueue = 2
+	r, err := Serve(context.Background(), opts)
+	if err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	if r.Overall.Dropped == 0 {
+		t.Fatalf("flooded run with MaxQueue=2 dropped nothing")
+	}
+	for _, rec := range r.Records {
+		if rec.Dropped && (rec.Start != 0 || rec.Finish != 0 || rec.EnergyUJ != 0) {
+			t.Errorf("dropped req %d carries service fields: %+v", rec.ID, rec)
+		}
+	}
+	if r.Overall.SLOAttained >= 1 {
+		t.Errorf("SLOAttained = %v with %d drops, want < 1", r.Overall.SLOAttained, r.Overall.Dropped)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{50, 5}, {95, 10}, {99, 10}, {100, 10}, {10, 1},
+	}
+	for _, tc := range cases {
+		if got := percentile(sorted, tc.p); got != tc.want {
+			t.Errorf("percentile(%v) = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+	if got := percentile(nil, 50); got != 0 {
+		t.Errorf("percentile(nil) = %v, want 0", got)
+	}
+	if got := percentile([]float64{42}, 99); got != 42 {
+		t.Errorf("percentile(single, 99) = %v, want 42", got)
+	}
+}
+
+func TestNewPolicyVocabulary(t *testing.T) {
+	for _, name := range PolicyNames() {
+		p, err := NewPolicy(name, testOptions().Tenants)
+		if err != nil {
+			t.Errorf("NewPolicy(%q): %v", name, err)
+		} else if p.Name() != name {
+			t.Errorf("NewPolicy(%q).Name() = %q", name, p.Name())
+		}
+	}
+	if _, err := NewPolicy("lifo", nil); err == nil || !strings.Contains(err.Error(), "unknown policy") {
+		t.Errorf("NewPolicy(lifo) err = %v", err)
+	}
+	if p, err := NewPolicy("", nil); err != nil || p.Name() != "fifo" {
+		t.Errorf("NewPolicy(\"\") = %v, %v; want fifo", p, err)
+	}
+}
+
+// TestServeValidation covers the option errors.
+func TestServeValidation(t *testing.T) {
+	ctx := context.Background()
+	cases := []struct {
+		name string
+		mut  func(*Options)
+		want string
+	}{
+		{"no tenants", func(o *Options) { o.Tenants = nil }, "no tenants"},
+		{"unnamed tenant", func(o *Options) { o.Tenants[0].Name = "" }, "has no name"},
+		{"empty mix", func(o *Options) { o.Tenants[1].Mix = nil }, "empty benchmark mix"},
+		{"unknown benchmark", func(o *Options) { o.Tenants[0].Mix = []string{"NOPE"} }, "NOPE"},
+	}
+	for _, tc := range cases {
+		opts := testOptions()
+		tc.mut(&opts)
+		if _, err := Serve(ctx, opts); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestEvalP99 pins the canned pathfinding goal: deterministic across
+// calls, positive, and policy-sensitive enough to be a real axis.
+func TestEvalP99(t *testing.T) {
+	res, err := prim.Run("VA", config.Default(), 1, prim.ScaleTiny)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	a, err := EvalP99(res, "fifo")
+	if err != nil {
+		t.Fatalf("EvalP99: %v", err)
+	}
+	b, err := EvalP99(res, "fifo")
+	if err != nil {
+		t.Fatalf("EvalP99 repeat: %v", err)
+	}
+	if a != b {
+		t.Errorf("EvalP99 nondeterministic: %v vs %v", a, b)
+	}
+	if a <= 0 || math.IsNaN(a) {
+		t.Errorf("EvalP99 = %v, want > 0", a)
+	}
+	if _, err := EvalP99(res, "bogus"); err == nil {
+		t.Errorf("EvalP99(bogus) succeeded")
+	}
+	est, err := EvalP99Estimate(0.001, "VA", "fifo")
+	if err != nil {
+		t.Fatalf("EvalP99Estimate: %v", err)
+	}
+	if est <= 0 {
+		t.Errorf("EvalP99Estimate = %v, want > 0", est)
+	}
+}
+
+// TestLoadSweep checks the QoS-curve artifact's shape: one row per
+// (policy, load, tenant), latencies non-decreasing per policy/tenant as
+// load rises is NOT asserted (queueing noise at tiny scale) — only
+// positivity and determinism.
+func TestLoadSweep(t *testing.T) {
+	opts := testOptions()
+	opts.Requests = 6
+	policies := []string{"fifo", "wfq"}
+	loads := []float64{0.5, 1.0}
+	tab, err := LoadSweep(context.Background(), opts, policies, loads)
+	if err != nil {
+		t.Fatalf("LoadSweep: %v", err)
+	}
+	wantRows := len(policies) * len(loads) * len(opts.Tenants)
+	if len(tab.Rows) != wantRows {
+		t.Fatalf("rows = %d, want %d", len(tab.Rows), wantRows)
+	}
+	if tab.Key != "serve-load" || tab.Scale != "tiny" {
+		t.Errorf("table key/scale = %q/%q", tab.Key, tab.Scale)
+	}
+	tab2, err := LoadSweep(context.Background(), opts, policies, loads)
+	if err != nil {
+		t.Fatalf("LoadSweep repeat: %v", err)
+	}
+	j1, _ := json.Marshal(tab)
+	j2, _ := json.Marshal(tab2)
+	if string(j1) != string(j2) {
+		t.Errorf("LoadSweep nondeterministic")
+	}
+}

@@ -1,0 +1,150 @@
+package serve
+
+import "math"
+
+// group is one disjoint DPU rank group: it serves one batch at a time
+// and is free again at busyUntil.
+type group struct {
+	busyUntil float64
+	// batch holds the in-flight requests' record indices.
+	batch []int
+}
+
+// simulate replays the arrival stream through the scheduler in virtual
+// time. The loop is strictly single-threaded and event-driven — the next
+// event is always the earlier of the next arrival and the earliest group
+// completion — so the outcome is a pure function of (requests, profiles,
+// policy), independent of host parallelism and wall clock.
+func simulate(opts Options, tenants []tenant, profiles map[string]profile, reqs []Request) *Result {
+	records := make([]Record, len(reqs))
+	for i, r := range reqs {
+		records[i] = Record{Request: r}
+	}
+
+	// Resolve the SLO-aware policy's missing class targets from the
+	// tenants' resolved (possibly auto-derived) targets, so "slo" means
+	// the same thing whether targets were given explicitly or derived.
+	if p, ok := opts.Policy.(*sloAware); ok {
+		for _, t := range tenants {
+			if _, have := p.targets[t.SLOClass]; !have && t.SLOTarget > 0 {
+				p.targets[t.SLOClass] = t.SLOTarget
+			}
+		}
+	}
+
+	groups := make([]group, opts.Groups)
+	var pending []*Request // arrival-ordered queue of admitted requests
+	next := 0              // next arrival index into reqs
+	now := 0.0
+	makespan := 0.0
+
+	// dispatch fills every idle group from the pending queue at time now.
+	dispatch := func() {
+		for gi := range groups {
+			if len(pending) == 0 {
+				return
+			}
+			g := &groups[gi]
+			if g.busyUntil > now {
+				continue
+			}
+			pick := opts.Policy.Pick(pending, now)
+			lead := pending[pick]
+			// Extend the picked request into a batch: queued requests of
+			// the same (tenant, benchmark) ride the same launch, in queue
+			// order, up to MaxBatch — one input staging amortized over all.
+			batch := []int{lead.ID}
+			for i := 0; i < len(pending) && len(batch) < opts.MaxBatch; i++ {
+				r := pending[i]
+				if r.ID != lead.ID && r.Tenant == lead.Tenant && r.Benchmark == lead.Benchmark {
+					batch = append(batch, r.ID)
+				}
+			}
+			// Remove the batch from the queue, preserving arrival order.
+			inBatch := make(map[int]bool, len(batch))
+			for _, id := range batch {
+				inBatch[id] = true
+			}
+			kept := pending[:0]
+			for _, r := range pending {
+				if !inBatch[r.ID] {
+					kept = append(kept, r)
+				}
+			}
+			pending = kept
+
+			p := profiles[lead.Benchmark]
+			k := len(batch)
+			svc := p.service(k)
+			finish := now + svc
+			euj := p.energyPerReq(k)
+			for _, id := range batch {
+				rec := &records[id]
+				rec.Start = now
+				rec.Finish = finish
+				rec.Batch = k
+				rec.EnergyUJ = euj
+			}
+			g.busyUntil = finish
+			g.batch = append(g.batch[:0], batch...)
+			if finish > makespan {
+				makespan = finish
+			}
+			opts.Policy.Served(lead.Tenant, svc)
+		}
+	}
+
+	for next < len(reqs) || len(pending) > 0 || anyBusy(groups, now) {
+		// Advance virtual time to the next event: the earlier of the next
+		// arrival and the earliest in-flight completion.
+		tNext := math.Inf(1)
+		if next < len(reqs) {
+			tNext = reqs[next].Arrival
+		}
+		for gi := range groups {
+			if g := &groups[gi]; g.busyUntil > now && g.busyUntil < tNext {
+				tNext = g.busyUntil
+			}
+		}
+		now = tNext
+
+		// Completions strictly before new arrivals at the same instant:
+		// a group that frees at t can serve a request arriving at t.
+		for gi := range groups {
+			if g := &groups[gi]; len(g.batch) > 0 && g.busyUntil <= now {
+				g.batch = g.batch[:0]
+			}
+		}
+		// Admit every arrival at this instant (tie-ordered by ID).
+		for next < len(reqs) && reqs[next].Arrival <= now {
+			if opts.MaxQueue > 0 && len(pending) >= opts.MaxQueue {
+				records[reqs[next].ID].Dropped = true
+			} else {
+				pending = append(pending, &reqs[next])
+			}
+			next++
+		}
+		dispatch()
+	}
+
+	res := &Result{
+		PolicyName: opts.Policy.Name(),
+		Groups:     opts.Groups,
+		GroupDPUs:  opts.GroupDPUs,
+		Load:       opts.Load,
+		Scale:      opts.Scale,
+		Records:    records,
+		Makespan:   makespan,
+	}
+	res.Tenants, res.Overall = computeMetrics(tenants, records)
+	return res
+}
+
+func anyBusy(groups []group, now float64) bool {
+	for i := range groups {
+		if groups[i].busyUntil > now {
+			return true
+		}
+	}
+	return false
+}

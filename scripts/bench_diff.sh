@@ -18,7 +18,7 @@ BENCHTIME="${BENCHTIME:-1s}"
 BENCH="${BENCH:-.}"
 BASELINE="${BASELINE:-BENCH_8.json}"
 DIFFOUT="${DIFFOUT:-}"
-GATE="${GATE:-BenchmarkTable1_Config,BenchmarkTable2_Datasets}"
+GATE="${GATE:-BenchmarkTable1_Config,BenchmarkTable2_Datasets,BenchmarkServeThroughput}"
 
 cd "$(dirname "$0")/.."
 
