@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-race race cover bench bench-diff fmt vet report refdata pathfind-smoke coord-smoke serve-smoke energy-check calibration-check
+.PHONY: build test test-race race cover bench bench-diff fmt vet report refdata pathfind-smoke coord-smoke serve-smoke energy-check arch-check calibration-check
 
 build:
 	$(GO) build ./...
@@ -53,6 +53,24 @@ serve-smoke:
 energy-check:
 	$(GO) run ./cmd/figures -exp energy -scale tiny -out energy-report -check -eps 1e-12
 
+# arch-check mirrors the CI job: the canonical cross-architecture Pareto
+# frontier run (UPMEM DPU vs HBM-PIM bank-level MAC over GEMV and VA),
+# golden-checked against the committed references at eps 1e-12; resumed from
+# its own store (must be fully cached and byte-identical); re-run at -jobs 8
+# against a fresh store (parallelism must be invisible byte for byte); and
+# cross-checked against the crossarch figure experiment, which computes the
+# same frontier through internal/figures.
+arch-check:
+	rm -rf archstore archstore8 archreport1 archreport2 archreport8 arch-resume.log
+	$(GO) run ./cmd/pathfind -bench GEMV,VA -axes "arch=upmem,hbm-pim;dpus=1,2" -scale tiny -store archstore -jobs 1 -pareto -goals time,energy,cost -energy -check -eps 1e-12 -out archreport1
+	$(GO) run ./cmd/pathfind -bench GEMV,VA -axes "arch=upmem,hbm-pim;dpus=1,2" -scale tiny -store archstore -jobs 1 -pareto -goals time,energy,cost -energy -check -eps 1e-12 -out archreport2 2> arch-resume.log
+	cat arch-resume.log
+	grep -q ", 0 simulated," arch-resume.log
+	$(GO) run ./cmd/pathfind -bench GEMV,VA -axes "arch=upmem,hbm-pim;dpus=1,2" -scale tiny -store archstore8 -jobs 8 -pareto -goals time,energy,cost -energy -check -eps 1e-12 -out archreport8
+	diff -r archreport1 archreport2
+	diff -r archreport1 archreport8
+	$(GO) run ./cmd/figures -exp crossarch -scale tiny -check -eps 1e-12
+
 # calibration-check mirrors the CI job: refit the analytical estimator's
 # calibration from scratch against the cycle-exact simulator and verify the
 # committed artifact (internal/estimate/calibration/default.json) is
@@ -61,7 +79,7 @@ energy-check:
 calibration-check:
 	$(GO) run ./cmd/pathfind calibrate -check
 
-# bench runs the figure benchmark suite and writes BENCH_8.json (ns/op plus
+# bench runs the figure benchmark suite and writes BENCH_10.json (ns/op plus
 # the headline figure metrics, machine-readable). Tune with BENCHTIME=1x for
 # a smoke run or BENCH=Fig12 for a subset.
 bench:
@@ -70,9 +88,10 @@ bench:
 # bench-diff mirrors the CI bench job's regression check: re-run the suite
 # at the baseline's benchtime (1s default, so allocs/op amortizes cold
 # starts the same way the baseline did) and print per-benchmark deltas
-# against the committed BENCH_8.json baseline, failing on allocs/op
-# regressions in the gated (Table1/Table2/ServeThroughput) benchmarks.
-# DIFFOUT=deltas.txt also saves the table; BENCHTIME=2s steadies ns/op.
+# against the committed BENCH_10.json baseline, failing on allocs/op
+# regressions in the gated (Table1/Table2/ServeThroughput/HBMPIMRate)
+# benchmarks. DIFFOUT=deltas.txt also saves the table; BENCHTIME=2s
+# steadies ns/op.
 bench-diff:
 	BENCHTIME=$(BENCHTIME) BENCH=$(BENCH) BASELINE=$(BASELINE) DIFFOUT=$(DIFFOUT) ./scripts/bench_diff.sh
 
@@ -87,3 +106,4 @@ report:
 
 refdata:
 	$(GO) run ./cmd/figures -exp all -scale tiny -writeref internal/figures/refdata
+	$(GO) run ./cmd/pathfind -bench GEMV,VA -axes "arch=upmem,hbm-pim;dpus=1,2" -scale tiny -pareto -goals time,energy,cost -energy -writeref internal/figures/refdata

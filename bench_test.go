@@ -294,3 +294,35 @@ func BenchmarkSimulationRate(b *testing.B) {
 		b.ReportMetric(float64(instrs)/elapsed/1e3, "KIPS")
 	}
 }
+
+// BenchmarkHBMPIMRate measures the bank-level MAC backend through the
+// public exploration API: one GEMV+VA sweep across site counts on the
+// hbm-pim machine per iteration. KIPS counts modeled MAC operations, making
+// the rate directly comparable to BenchmarkSimulationRate's cycle-exact
+// DPU number; the benchmark also gates allocs/op, since the analytical
+// backend is supposed to stay cheap next to the cycle core.
+func BenchmarkHBMPIMRate(b *testing.B) {
+	space := upim.NewDesignSpace([]string{"GEMV", "VA"},
+		upim.AxisArchs("hbm-pim"), upim.AxisDPUs(1, 2, 4))
+	space.Scale = upim.ScaleTiny
+	ctx := context.Background()
+	b.ResetTimer()
+	var instrs uint64
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		x, err := upim.Explore(ctx, space, upim.ExploreOptions{Parallelism: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, o := range x.Outcomes {
+			if o.Err != nil {
+				b.Fatal(o.Err)
+			}
+			instrs += o.Result.Stats.Instructions
+		}
+	}
+	elapsed := time.Since(start).Seconds()
+	if elapsed > 0 {
+		b.ReportMetric(float64(instrs)/elapsed/1e3, "KIPS")
+	}
+}

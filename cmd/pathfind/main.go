@@ -54,12 +54,18 @@
 //	pathfind -coordinator -workers 4 -store ./pfstore -events events.jsonl -bench VA -pareto
 //	pathfind calibrate -check
 //
-// Axis grammar: semicolon-separated "name=v1,v2,..." with axes tasklets,
-// dpus, freq (MHz), link (bandwidth multiplier), ilp (subsets of DRSF or
-// "base"), mode (scratchpad, cache, simt), policy (fifo, wfq, slo — host
-// software, scored by the p99 goal, free on the simulated point so all its
-// levels share one store entry). Infeasible combinations (e.g. SIMT on a
-// benchmark without a SIMT kernel) are constrained out.
+// Axis grammar: semicolon-separated "name=v1,v2,..." with axes arch (upmem,
+// hbm-pim — which machine description and backend simulates the point),
+// tasklets, dpus, freq (MHz), link (bandwidth multiplier), ilp (subsets of
+// DRSF or "base"), mode (scratchpad, cache, simt), policy (fifo, wfq, slo —
+// host software, scored by the p99 goal, free on the simulated point so all
+// its levels share one store entry). Infeasible combinations (e.g. SIMT on a
+// benchmark without a SIMT kernel, or a graph benchmark on the bank-level
+// MAC backend) are constrained out. The canonical cross-architecture
+// frontier run is regression-checked against committed references:
+//
+//	pathfind -bench GEMV,VA -axes "arch=upmem,hbm-pim;dpus=1,2" -scale tiny \
+//	         -pareto -goals time,energy,cost -energy -check
 package main
 
 import (
@@ -69,10 +75,12 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"time"
 
 	"upim"
+	"upim/internal/figures/refdata"
 )
 
 const defaultAxes = "tasklets=1,4,16;ilp=base,DRSF;link=1,2,4"
@@ -114,6 +122,9 @@ func run() int {
 		coordMode = flag.Bool("coordinator", false, "coordinated exploration: shard the space into leased work units drained by -workers workers through the shared -store")
 		workers   = flag.Int("workers", 4, "worker count for -coordinator")
 		events    = flag.String("events", "", "append the machine-readable JSONL coordination events log to this file (-coordinator only)")
+		check     = flag.Bool("check", false, "validate every emitted table against the committed reference artifacts (the cross-architecture regression oracle)")
+		eps       = flag.Float64("eps", 0, "relative tolerance for -check (<= 0 selects the default)")
+		writeref  = flag.String("writeref", "", "write reference JSON artifacts for the emitted tables into this directory (maintainers only)")
 	)
 	flag.Parse()
 
@@ -153,6 +164,10 @@ func run() int {
 	}
 	if (bandSet || *calib != "") && !*tier2 {
 		fmt.Fprintln(os.Stderr, "pathfind: -band and -calibration only affect -tier2 triage; add -tier2 to use them")
+		return 2
+	}
+	if *eps != 0 && !*check {
+		fmt.Fprintln(os.Stderr, "pathfind: -eps sets the -check tolerance; add -check to use it")
 		return 2
 	}
 	// Likewise a profile only matters to evaluated energy/edp goals and the
@@ -336,6 +351,27 @@ func run() int {
 		}
 		fmt.Fprintf(os.Stderr, "pathfind: wrote %d artifacts + index.md to %s\n", len(tables), *out)
 	}
+	if *writeref != "" {
+		if werr := writeReferences(*writeref, tables); werr != nil {
+			fmt.Fprintln(os.Stderr, "pathfind:", werr)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "pathfind: wrote %d reference artifacts to %s\n", len(tables), *writeref)
+	}
+	if *check {
+		failed := 0
+		for _, tab := range tables {
+			if cerr := upim.CheckArtifact(tab, *eps); cerr != nil {
+				fmt.Fprintln(os.Stderr, "pathfind:", cerr)
+				failed++
+			}
+		}
+		if failed > 0 {
+			fmt.Fprintf(os.Stderr, "pathfind: %d of %d tables deviate from the committed references\n", failed, len(tables))
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "pathfind: all %d tables match the reference\n", len(tables))
+	}
 
 	fmt.Fprintf(os.Stderr, "pathfind: %d points: %d cached, %d simulated, %d failed\n",
 		len(x.Outcomes), x.Hits, x.Simulated, x.Failed)
@@ -355,6 +391,31 @@ func run() int {
 		return 1
 	}
 	return 0
+}
+
+// writeReferences writes each table's reference JSON into dir under the
+// embedded-refdata naming convention, so maintainers regenerate the
+// committed cross-architecture references with
+//
+//	pathfind ...canonical arch-check flags... -writeref internal/figures/refdata
+func writeReferences(dir string, tables []*upim.ResultTable) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, tab := range tables {
+		path := filepath.Join(dir, refdata.FileName(tab.Key, tab.Scale))
+		f, err := os.Create(path)
+		if err == nil {
+			err = tab.WriteJSON(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // progressPrinter streams coordinated-exploration progress to stderr: one

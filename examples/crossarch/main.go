@@ -1,0 +1,56 @@
+// Cross-architecture pathfinding: the same workloads explored on two
+// machines — the cycle-exact UPMEM DPU core and the HBM-PIM-style
+// bank-level MAC model — in one design space, with a Pareto frontier over
+// modeled time, energy and hardware cost. The arch axis attaches a machine
+// description to each point; the engine dispatches it to the registered
+// backend, the store keys it into the content address (architectures never
+// share cached results), and the energy goal prices each architecture
+// under its own default TechProfile.
+//
+// Run with: go run ./examples/crossarch
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+
+	"upim"
+)
+
+func main() {
+	space := upim.NewDesignSpace([]string{"GEMV", "VA"},
+		upim.AxisArchs("upmem", "hbm-pim"),
+		upim.AxisDPUs(1, 2),
+	)
+	space.Scale = upim.ScaleTiny
+
+	x, err := upim.Explore(context.Background(), space, upim.ExploreOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Frontier over time, energy and cost. A nil profile prices each
+	// point's energy under its architecture's own committed default.
+	goals := []upim.ExploreGoal{upim.GoalTime(), upim.GoalEnergy(nil), upim.GoalCost()}
+	x.ParetoTable(goals...).Fprint(os.Stdout)
+
+	// The per-point view: the MAC array wins time and energy outright on
+	// the kernels it can run, but at a lane-count cost the frontier keeps
+	// visible — the paper's pathfinding trade-off in one table.
+	for _, o := range x.Outcomes {
+		if o.Err != nil {
+			log.Fatalf("%s %s: %v", o.Point.Benchmark, o.Point.Design, o.Err)
+		}
+		arch := o.Result.Arch
+		if arch == "" {
+			arch = "upmem"
+		}
+		e := o.Result.Energy(nil)
+		fmt.Printf("%-5s %-8s sites=%d cost=%.0f  kernel=%8.1fus total=%8.1fus  %7.2fuJ (%s)\n",
+			o.Point.Benchmark, arch, o.Result.DPUs, o.Point.Cost,
+			o.Result.Report.KernelSeconds*1e6, o.Result.Report.Total()*1e6,
+			e.MicroJoules(), e.Profile)
+	}
+}

@@ -75,6 +75,11 @@ var (
 	// host-software axis scored by GoalP99, free and no-op on the simulated
 	// point, so every level shares one store entry.
 	AxisPolicies = explore.Policies
+	// AxisArchs sweeps the machine architecture ("upmem", "hbm-pim"):
+	// which machine description and backend simulates each point. Results
+	// for different architectures never share a store entry, and energy
+	// goals price each under its own default TechProfile.
+	AxisArchs = explore.Archs
 	// NewDesignAxis builds a custom axis from explicit levels.
 	NewDesignAxis = explore.NewAxis
 )

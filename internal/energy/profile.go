@@ -86,34 +86,55 @@ type TechProfile struct {
 	LeakageMW float64 `json:"leakage_mw"`
 }
 
-//go:embed profiles/default.json
+//go:embed profiles/*.json
 var profileFS embed.FS
 
 var (
-	defaultOnce    sync.Once
-	defaultProfile *TechProfile
+	embeddedMu       sync.Mutex
+	embeddedProfiles = map[string]*TechProfile{}
 )
+
+// embedded parses (once) and returns the committed profile at path.
+func embedded(path string) *TechProfile {
+	embeddedMu.Lock()
+	defer embeddedMu.Unlock()
+	if p, ok := embeddedProfiles[path]; ok {
+		return p
+	}
+	data, err := profileFS.ReadFile(path)
+	if err != nil {
+		panic("energy: embedded profile " + path + " missing: " + err.Error())
+	}
+	p := &TechProfile{PipelinePJ: map[string]float64{}}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(p); err != nil {
+		panic("energy: embedded profile " + path + " invalid: " + err.Error())
+	}
+	if err := p.Validate(); err != nil {
+		panic("energy: embedded profile " + path + " invalid: " + err.Error())
+	}
+	embeddedProfiles[path] = p
+	return p
+}
 
 // Default returns a copy of the committed default profile. Mutating the copy
 // is safe; the embedded original is parsed once and never exposed.
 func Default() *TechProfile {
-	defaultOnce.Do(func() {
-		data, err := profileFS.ReadFile("profiles/default.json")
-		if err != nil {
-			panic("energy: embedded default profile missing: " + err.Error())
-		}
-		p := &TechProfile{PipelinePJ: map[string]float64{}}
-		dec := json.NewDecoder(bytes.NewReader(data))
-		dec.DisallowUnknownFields()
-		if err := dec.Decode(p); err != nil {
-			panic("energy: embedded default profile invalid: " + err.Error())
-		}
-		if err := p.Validate(); err != nil {
-			panic("energy: embedded default profile invalid: " + err.Error())
-		}
-		defaultProfile = p
-	})
-	return defaultProfile.clone()
+	return embedded("profiles/default.json").clone()
+}
+
+// DefaultFor returns a copy of the committed default profile for an
+// architecture backend: the UPMEM profile for "" or "upmem" (results
+// predating multiple backends carry no architecture), the bank-level MAC
+// profile for "hbm-pim", and the UPMEM default for anything unrecognized —
+// an unknown architecture's energy is better priced under the committed
+// baseline than dropped to zero.
+func DefaultFor(arch string) *TechProfile {
+	if arch == "hbm-pim" {
+		return embedded("profiles/hbmpim.json").clone()
+	}
+	return Default()
 }
 
 // ResolveProfile resolves a nil profile to the committed default — the

@@ -17,7 +17,13 @@ import (
 
 	"upim/internal/config"
 	"upim/internal/core"
+	"upim/internal/machine"
 	"upim/internal/prim"
+
+	// The bank-level MAC backend registers itself with internal/machine;
+	// importing it here makes every engine consumer architecture-capable
+	// without naming the backend.
+	_ "upim/internal/hbmpim"
 )
 
 // Point is one simulation point of a sweep.
@@ -29,6 +35,11 @@ type Point struct {
 	// Watchdog bounds this point's per-DPU launch cycles (0 = the engine's
 	// watchdog, or the host default).
 	Watchdog uint64
+	// Machine selects the architecture backend the point runs on; nil is
+	// the native cycle-exact UPMEM core. The description participates in
+	// the point's content address, so cross-architecture explorations
+	// dedupe and resume per machine.
+	Machine *machine.Desc `json:",omitempty"`
 }
 
 // Outcome is the result of one point. Index identifies the originating
@@ -125,15 +136,28 @@ func (e *Engine) Run(ctx context.Context, p Point) (*prim.Result, error) {
 // a resident point loop — the sweep workers here, the coordinator's worker
 // loop — hold one arena each and pass it to every run, which keeps
 // steady-state execution free of per-point simulator allocations.
+//
+// The point's machine description selects the architecture backend; every
+// backend receives the same uniform workload, so the UPMEM fast path and
+// alternative architectures share this one dispatch site.
 func (e *Engine) RunInArena(ctx context.Context, p Point, arena *core.Arena) (*prim.Result, error) {
 	wd := e.watchdog
 	if p.Watchdog > 0 {
 		wd = p.Watchdog
 	}
-	return prim.RunSpec(ctx, prim.Spec{
+	arch := ""
+	if p.Machine != nil {
+		arch = p.Machine.Arch
+	}
+	be, err := machine.BackendFor(arch)
+	if err != nil {
+		return nil, err
+	}
+	return be.Run(ctx, machine.Workload{
 		Benchmark: p.Benchmark,
 		Config:    p.Config,
-		DPUs:      p.DPUs,
+		Desc:      p.Machine,
+		Sites:     p.DPUs,
 		Scale:     p.Scale,
 		Watchdog:  wd,
 		Cache:     e.cache,

@@ -82,8 +82,14 @@ func (e *Estimator) Calibration() *Calibration { return e.cal }
 // ProfileName returns the energy TechProfile estimates are priced under.
 func (e *Estimator) ProfileName() string { return e.prof.Name }
 
-// lookup finds the signature for a point (exact identity match).
+// lookup finds the signature for a point (exact identity match). Points
+// carrying a machine description run an alternative architecture backend
+// the UPMEM-fitted calibration knows nothing about; they are never
+// estimable and always go straight to their backend.
 func (e *Estimator) lookup(p engine.Point) (*Signature, bool) {
+	if p.Machine != nil {
+		return nil, false
+	}
 	dpus := p.DPUs
 	if dpus < 1 {
 		dpus = 1

@@ -6,6 +6,7 @@ import (
 
 	"upim/internal/config"
 	"upim/internal/engine"
+	"upim/internal/machine"
 	"upim/internal/serve"
 )
 
@@ -186,6 +187,37 @@ func Modes(modes ...config.Mode) Axis {
 			Label: m.String(),
 			Cost:  cost,
 			Apply: func(p *engine.Point) { p.Config.Mode = m },
+		})
+	}
+	return mustLevels(a)
+}
+
+// Archs sweeps the architecture backend a point runs on, by committed
+// machine-description name (machine.Names: "upmem", "hbm-pim"). The
+// "upmem" level keeps the point on the native cycle-exact core (nil
+// description, cost 0 — the scalar DPU is the baseline); every other level
+// attaches its architecture's machine description, which joins the point's
+// content address, and costs log2 of the description's per-site MAC lane
+// count, the same each-doubling-costs-1 convention as the other axes. The
+// description is shared read-only across all points of the sweep.
+func Archs(names ...string) Axis {
+	a := Axis{Name: "arch"}
+	for _, n := range names {
+		if n == machine.ArchUPMEM {
+			a.Levels = append(a.Levels, Level{
+				Label: n,
+				Apply: func(p *engine.Point) { p.Machine = nil },
+			})
+			continue
+		}
+		desc, err := machine.Named(n)
+		if err != nil {
+			panic("explore: " + err.Error())
+		}
+		a.Levels = append(a.Levels, Level{
+			Label: n,
+			Cost:  desc.ArchCost(),
+			Apply: func(p *engine.Point) { p.Machine = desc },
 		})
 	}
 	return mustLevels(a)

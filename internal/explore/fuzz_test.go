@@ -19,12 +19,14 @@ func FuzzParseAxes(f *testing.F) {
 		"tasklets=1,4;link=1,2",
 		"dpus=1,16,64;freq=175,350,700",
 		"mode=scratchpad,cache,simt",
+		"arch=upmem,hbm-pim;dpus=1,2",
 		"ilp=base,D,DR,DRS,DRSF",
 		// Malformed shapes: empty axes, missing values, separators only
 		// (the family that crashed the assembler before PR 4).
 		"", ";", ";;;", "=", "name=", "=1,2", "tasklets", "tasklets=",
 		"tasklets=,", "tasklets=0", "tasklets=-1", "tasklets=1,,4",
 		"freq=13", "link=x2", "ilp=DD", "ilp=Q", "mode=vector",
+		"arch=foo", "arch=",
 		"tasklets=1;tasklets=2", " tasklets = 1 , 4 ; link = 2 ",
 		"tasklets=99999999999999999999", "ilp=base;;link=1",
 	}

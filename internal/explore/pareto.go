@@ -69,15 +69,22 @@ func GoalCost() Goal {
 }
 
 // GoalEnergy is the modeled end-to-end energy of a point in microjoules
-// (per-DPU kernel events plus host transfers) under profile p, nil selecting
-// the committed default — the paper's "efficiency, not just time" axis.
+// (per-DPU kernel events plus host transfers) under profile p — the paper's
+// "efficiency, not just time" axis. A nil p stays nil: each result is then
+// priced under its own architecture's committed default profile
+// (energy.DefaultFor), which is what makes cross-architecture frontiers
+// meaningful — a bank-level MAC machine must not be charged UPMEM pipeline
+// energies. An explicit profile applies to every result regardless of
+// architecture. ProfileName reports the UPMEM default's name in the nil
+// case, which keeps the two-tier triage compatibility check honest: the
+// estimator is UPMEM-only, and UPMEM results are indeed priced under that
+// default.
 func GoalEnergy(p *energy.TechProfile) Goal {
-	p = energy.ResolveProfile(p)
 	return Goal{
 		Name:        "energy",
 		Unit:        "uJ",
 		UsesProfile: true,
-		ProfileName: p.Name,
+		ProfileName: energy.ResolveProfile(p).Name,
 		Value:       func(o Outcome) float64 { return o.Result.Energy(p).MicroJoules() },
 		Est:         func(o Outcome) float64 { return o.Estimate.MicroJoules() },
 	}
@@ -85,14 +92,14 @@ func GoalEnergy(p *energy.TechProfile) Goal {
 
 // GoalEDP is the energy-delay product of a point in µJ·ms (total energy
 // times total modeled time) under profile p — the balanced goal for designs
-// that must be both fast and efficient.
+// that must be both fast and efficient. Profile resolution follows
+// GoalEnergy: nil prices each result under its architecture's default.
 func GoalEDP(p *energy.TechProfile) Goal {
-	p = energy.ResolveProfile(p)
 	return Goal{
 		Name:        "EDP",
 		Unit:        "uJ*ms",
 		UsesProfile: true,
-		ProfileName: p.Name,
+		ProfileName: energy.ResolveProfile(p).Name,
 		Value: func(o Outcome) float64 {
 			return o.Result.Energy(p).EDPMicroJouleMS(o.Result.Report.Total())
 		},

@@ -7,6 +7,7 @@ import (
 
 	"upim/internal/config"
 	"upim/internal/energy"
+	"upim/internal/machine"
 	"upim/internal/serve"
 )
 
@@ -15,10 +16,11 @@ import (
 //
 //	tasklets=1,4,16;ilp=base,D,DRSF;link=1,2,4;mode=scratchpad,cache
 //
-// Known axes: tasklets, dpus, freq (MHz), link (bandwidth multiplier), ilp
-// (subsets of DRSF, "base" for none), mode (scratchpad, cache, simt) and
-// policy (serving scheduler: fifo, wfq, slo — a host-software axis for the
-// p99 goal). Axes are applied to each point in specification order.
+// Known axes: arch (architecture backend: upmem, hbm-pim), tasklets, dpus,
+// freq (MHz), link (bandwidth multiplier), ilp (subsets of DRSF, "base"
+// for none), mode (scratchpad, cache, simt) and policy (serving scheduler:
+// fifo, wfq, slo — a host-software axis for the p99 goal). Axes are
+// applied to each point in specification order.
 func ParseAxes(spec string) ([]Axis, error) {
 	var axes []Axis
 	for _, part := range strings.Split(spec, ";") {
@@ -85,6 +87,16 @@ func buildAxis(name string, values []string) (Axis, error) {
 			}
 		}
 		return ILP(values...), nil
+	case "arch":
+		for _, v := range values {
+			if v == machine.ArchUPMEM {
+				continue
+			}
+			if _, err := machine.Named(v); err != nil {
+				return Axis{}, fmt.Errorf("explore: axis \"arch\": %w", err)
+			}
+		}
+		return Archs(values...), nil
 	case "policy":
 		for _, v := range values {
 			if _, err := serve.NewPolicy(v, nil); err != nil {
@@ -108,7 +120,7 @@ func buildAxis(name string, values []string) (Axis, error) {
 		}
 		return Modes(modes...), nil
 	default:
-		return Axis{}, fmt.Errorf("explore: unknown axis %q (want tasklets, dpus, freq, link, ilp, mode or policy)", name)
+		return Axis{}, fmt.Errorf("explore: unknown axis %q (want arch, tasklets, dpus, freq, link, ilp, mode or policy)", name)
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"upim/internal/config"
 	"upim/internal/engine"
+	"upim/internal/machine"
 	"upim/internal/prim"
 )
 
@@ -149,6 +150,19 @@ func (s *Space) instantiate(bench string, combo []int) Point {
 // feasible applies the built-in constraints plus any user constraints.
 func (s *Space) feasible(b *prim.Benchmark, p Point) bool {
 	cfg := p.EP.Config
+	// Alternative architecture backends support only the benchmarks they
+	// have a mapping for, and only the baseline memory organisation — the
+	// mode/ILP/link axes describe the UPMEM microarchitecture and have no
+	// meaning on, say, a bank-level MAC machine.
+	if m := p.EP.Machine; m != nil && m.Arch != machine.ArchUPMEM {
+		be, err := machine.BackendFor(m.Arch)
+		if err != nil || !be.Supports(b.Name) {
+			return false
+		}
+		if cfg.Mode != config.ModeScratchpad {
+			return false
+		}
+	}
 	if cfg.Mode == config.ModeSIMT && !b.SupportsSIMT {
 		return false
 	}

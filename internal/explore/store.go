@@ -31,7 +31,11 @@ import (
 // (two-tier exploration): an entry without a known fidelity is never served,
 // so a store written by a newer format — or a tampered one — degrades to
 // re-simulation instead of silently passing an estimate off as cycle-exact.
-const storeFormat = 3
+// 4 added the machine description (engine.Point.Machine) and Result.Arch for
+// multi-architecture exploration: format-3 keys were implicitly UPMEM-only,
+// so a pre-arch store must never have an entry served into — or alias a key
+// of — a cross-architecture exploration.
+const storeFormat = 4
 
 // Fidelity values of a store entry (and of an exploration outcome).
 const (

@@ -162,12 +162,16 @@ func (x *Exploration) BestTable(k int) *artifact.Table {
 
 // EnergyTable renders every successful point's per-component energy
 // breakdown (µJ per component, total, average power, EDP) under profile p
-// (nil = the committed default) in point order — the explorer's view of the
-// energy model, shaped like the figures "energy" experiment. Failed or
+// in point order — the explorer's view of the energy model, shaped like the
+// figures "energy" experiment. A nil p prices each result under its own
+// architecture's committed default profile (see GoalEnergy). Failed or
 // skipped points are omitted: they have no counters to integrate.
 func (x *Exploration) EnergyTable(p *energy.TechProfile) *artifact.Table {
-	p = energy.ResolveProfile(p)
-	t := x.newTable("pathfind-energy", "Pathfinding (energy)", "per-point energy breakdown under profile "+p.Name)
+	title := "per-point energy breakdown under per-architecture default profiles"
+	if p != nil {
+		title = "per-point energy breakdown under profile " + p.Name
+	}
+	t := x.newTable("pathfind-energy", "Pathfinding (energy)", title)
 	t.Columns = append(t.Columns, artifact.Column{Name: "benchmark"}, artifact.Column{Name: "design"})
 	t.Columns = append(t.Columns, energy.BreakdownColumns()...)
 	for _, o := range x.Outcomes {

@@ -100,6 +100,7 @@ var experiments = []Experiment{
 	{"fig16", "DRAM bytes read and runtime: BS and UNI, cache vs scratchpad", Fig16},
 	{"table3", "simulator comparison (paper Table III)", Table3},
 	{"energy", "event-level energy breakdown per benchmark (internal/energy)", EnergyExperiment},
+	{"crossarch", "cross-architecture Pareto frontier: UPMEM DPU vs HBM-PIM bank-level MAC", CrossArch},
 }
 
 // Experiments lists all registered experiments.

@@ -1,0 +1,99 @@
+package machine
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"upim/internal/config"
+	"upim/internal/core"
+	"upim/internal/prim"
+)
+
+// Workload is one fully-specified execution request handed to a Backend —
+// the architecture-neutral analogue of prim.Spec. Sites is the number of
+// compute sites engaged (the engine's DPUs axis); Desc may be nil for the
+// native UPMEM backend, which needs no description to run the existing
+// core.
+type Workload struct {
+	Benchmark string
+	Config    config.Config
+	Desc      *Desc
+	Sites     int
+	Scale     prim.Scale
+	// Watchdog bounds per-site execution cycles (0 = the host default).
+	Watchdog uint64
+	// Cache reuses assembled objects across runs sharing a kernel; only the
+	// UPMEM backend compiles kernels, others ignore it.
+	Cache *prim.BuildCache
+	// Arena recycles DPU shells; only meaningful to the UPMEM backend.
+	Arena *core.Arena
+}
+
+// Backend executes workloads on one architecture. Implementations must be
+// deterministic — byte-identical results for identical workloads, run
+// after run, whatever the caller's parallelism — because the exploration
+// store content-addresses results and the resume contract holds artifacts
+// to byte identity. The machinetest conformance suite checks exactly this.
+type Backend interface {
+	// Arch returns the architecture name (ArchUPMEM, ArchHBMPIM, ...).
+	Arch() string
+	// Describe returns a fresh copy of the backend's default machine
+	// description.
+	Describe() *Desc
+	// Supports reports whether the backend can execute a benchmark.
+	Supports(benchmark string) bool
+	// Run executes one workload and returns its result. The result must be
+	// self-contained: Config, Stats, PerDPU and Report populated so the
+	// energy model and the figure pipeline work unchanged.
+	Run(ctx context.Context, w Workload) (*prim.Result, error)
+}
+
+var (
+	backendMu sync.RWMutex
+	backends  = map[string]Backend{}
+)
+
+// Register installs a backend under its architecture name; backends
+// register from init, and a duplicate name is a programming error.
+func Register(b Backend) {
+	backendMu.Lock()
+	defer backendMu.Unlock()
+	if _, dup := backends[b.Arch()]; dup {
+		panic(fmt.Sprintf("machine: backend %q registered twice", b.Arch()))
+	}
+	backends[b.Arch()] = b
+}
+
+// BackendFor returns the backend for an architecture name ("" selects the
+// native UPMEM backend).
+func BackendFor(arch string) (Backend, error) {
+	if arch == "" {
+		arch = ArchUPMEM
+	}
+	backendMu.RLock()
+	defer backendMu.RUnlock()
+	b, ok := backends[arch]
+	if !ok {
+		return nil, fmt.Errorf("machine: no backend for architecture %q (have %v)", arch, backendNames())
+	}
+	return b, nil
+}
+
+// backendNames lists the registered names sorted; callers hold backendMu.
+func backendNames() []string {
+	out := make([]string, 0, len(backends))
+	for n := range backends {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Backends lists the registered backend names, sorted.
+func Backends() []string {
+	backendMu.RLock()
+	defer backendMu.RUnlock()
+	return backendNames()
+}

@@ -1,0 +1,25 @@
+package machine_test
+
+import (
+	"testing"
+
+	"upim/internal/config"
+	"upim/internal/engine"
+	"upim/internal/machine/machinetest"
+	"upim/internal/prim"
+)
+
+// TestUPMEMBackendConformance runs the shared backend conformance suite
+// against the native cycle-exact core (points with a nil machine
+// description).
+func TestUPMEMBackendConformance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("conformance sweeps repeat cycle-exact simulations")
+	}
+	cfg := config.Default()
+	machinetest.Run(t, "", []engine.Point{
+		{Benchmark: "GEMV", Config: cfg, DPUs: 1, Scale: prim.ScaleTiny},
+		{Benchmark: "VA", Config: cfg, DPUs: 2, Scale: prim.ScaleTiny},
+		{Benchmark: "RED", Config: cfg, DPUs: 1, Scale: prim.ScaleTiny},
+	})
+}

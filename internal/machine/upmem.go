@@ -1,0 +1,37 @@
+package machine
+
+import (
+	"context"
+
+	"upim/internal/prim"
+)
+
+// upmemBackend adapts the existing cycle-exact UPMEM core to the Backend
+// interface: it is a thin pass-through to prim.RunSpec, so every figure,
+// store entry and artifact produced through it is bit-identical to the
+// pre-backend engine path.
+type upmemBackend struct{}
+
+func init() { Register(upmemBackend{}) }
+
+func (upmemBackend) Arch() string { return ArchUPMEM }
+
+func (upmemBackend) Describe() *Desc { return UPMEM() }
+
+// Supports reports true for every PrIM benchmark the suite registers.
+func (upmemBackend) Supports(benchmark string) bool {
+	_, err := prim.ByName(benchmark)
+	return err == nil
+}
+
+func (upmemBackend) Run(ctx context.Context, w Workload) (*prim.Result, error) {
+	return prim.RunSpec(ctx, prim.Spec{
+		Benchmark: w.Benchmark,
+		Config:    w.Config,
+		DPUs:      w.Sites,
+		Scale:     w.Scale,
+		Watchdog:  w.Watchdog,
+		Cache:     w.Cache,
+		Arena:     w.Arena,
+	})
+}

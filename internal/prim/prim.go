@@ -149,9 +149,14 @@ func ByName(name string) (*Benchmark, error) {
 // Result captures one run's outputs for the figure drivers.
 type Result struct {
 	Benchmark string
-	Mode      config.Mode
-	Tasklets  int
-	DPUs      int
+	// Arch names the architecture backend that produced the result; the
+	// empty string means the native cycle-exact UPMEM core (results
+	// predating multiple backends stay valid unchanged). It selects the
+	// default TechProfile when Energy is called with nil.
+	Arch     string `json:",omitempty"`
+	Mode     config.Mode
+	Tasklets int
+	DPUs     int
 	// Config is the full hardware configuration the point ran under — the
 	// provenance energy and downstream models need (frequency for leakage
 	// integration, mode for traffic routing).
@@ -162,12 +167,15 @@ type Result struct {
 }
 
 // Energy computes the run's event-level energy under profile p (nil selects
-// the committed default): per-DPU kernel event energy — so each DPU's
-// leakage integrates its own cycles — plus host-channel transfer energy.
-// Energy is a pure function of the result record, so results loaded back
-// from a pathfinding store yield bit-identical reports to the run that
-// produced them.
+// the committed default for the result's architecture): per-DPU kernel
+// event energy — so each DPU's leakage integrates its own cycles — plus
+// host-channel transfer energy. Energy is a pure function of the result
+// record, so results loaded back from a pathfinding store yield
+// bit-identical reports to the run that produced them.
 func (r *Result) Energy(p *energy.TechProfile) energy.Report {
+	if p == nil {
+		p = energy.DefaultFor(r.Arch)
+	}
 	return energy.OfRun(p, r.Config, r.PerDPU, r.Report.BytesIn, r.Report.BytesOut)
 }
 

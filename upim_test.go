@@ -73,9 +73,10 @@ func TestFacadeRunBenchmark(t *testing.T) {
 }
 
 func TestFacadeExperiments(t *testing.T) {
-	// 16 paper tables/figures plus the PR-5 energy experiment.
-	if len(upim.Experiments()) != 17 {
-		t.Fatalf("expected 17 experiments, got %d", len(upim.Experiments()))
+	// 16 paper tables/figures plus the energy experiment and the
+	// cross-architecture frontier.
+	if len(upim.Experiments()) != 18 {
+		t.Fatalf("expected 18 experiments, got %d", len(upim.Experiments()))
 	}
 	tab, err := upim.RunExperiment("table1", upim.ExperimentOptions{})
 	if err != nil {
